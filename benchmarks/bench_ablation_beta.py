@@ -1,0 +1,92 @@
+"""Ablation: the three beta estimators against each other.
+
+DESIGN.md's substitution table claims the NP-hard minimum-congestion
+quantity can be replaced by a [cut-lower, routing-upper] bracket without
+changing any Theta-level conclusion.  This bench quantifies that:
+
+* bracket width (upper/lower) stays a modest constant for the structured
+  families -- the bracket pins the Theta class;
+* the operational rate lands inside (a constant blow-up of) the bracket;
+* the purely spectral route (Cheeger) brackets the same quantity but far
+  more loosely -- justifying the combinatorial cut family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.bandwidth import (
+    beta_bracket,
+    cheeger_bounds,
+    flux_beta_upper,
+    lemma10_beta_upper,
+)
+from repro.routing import measure_bandwidth
+from repro.topologies import family_spec
+from repro.util import format_table
+
+FAMILIES = ["linear_array", "tree", "xtree", "mesh_2", "mesh_3", "de_bruijn", "butterfly"]
+
+
+@pytest.mark.parametrize("key", FAMILIES)
+def test_bracket_width_bounded(key, benchmark):
+    m = family_spec(key).build_with_size(256)
+    br = benchmark(beta_bracket, m)
+    assert br.upper / max(br.lower, 1e-9) <= 10, (key, br)
+
+
+@pytest.mark.parametrize("key", FAMILIES)
+def test_operational_inside_scaled_bracket(key, benchmark):
+    m = family_spec(key).build_with_size(256)
+    br = beta_bracket(m)
+    rate = measure_bandwidth(m, seed=0).rate
+    assert br.lower / 4 <= rate <= br.upper * 4, (key, rate, br)
+
+
+@pytest.mark.parametrize("key", ["mesh_2", "de_bruijn", "tree"])
+def test_flux_vs_cut_bound_consistent(key, benchmark):
+    """The flux ceiling (2 * bisection) and the bracket upper bound are
+    the same cut argument in two guises: they agree within constants."""
+    m = family_spec(key).build_with_size(256)
+    br = beta_bracket(m)
+    flux = flux_beta_upper(m)
+    assert flux / 6 <= br.upper <= flux * 6 or br.upper <= flux, (key, br, flux)
+
+
+@pytest.mark.parametrize("key", ["de_bruijn", "mesh_2"])
+def test_lemma10_ceiling_respected(key, benchmark):
+    m = family_spec(key).build_with_size(256)
+    br = beta_bracket(m)
+    assert br.lower <= 2 * lemma10_beta_upper(m), key
+
+
+def test_ablation_print(benchmark):
+    rows = []
+    for key in FAMILIES:
+        m = family_spec(key).build_with_size(256)
+        br = beta_bracket(m)
+        rate = measure_bandwidth(m, seed=0).rate
+        flux = flux_beta_upper(m)
+        lem10 = lemma10_beta_upper(m)
+        ch_lo, ch_hi = cheeger_bounds(m)
+        rows.append(
+            (
+                key,
+                m.num_nodes,
+                f"{br.lower:8.2f}",
+                f"{br.upper:8.2f}",
+                f"{rate:8.2f}",
+                f"{flux:8.2f}",
+                f"{lem10:8.2f}",
+                f"{ch_lo * m.num_nodes / 2:8.2f}",
+            )
+        )
+    emit(
+        format_table(
+            ["family", "n", "cut lower", "cut upper", "operational",
+             "flux cap", "Lemma-10 cap", "Cheeger-based"],
+            rows,
+            title="Ablation: beta estimators (n~256)",
+        )
+    )

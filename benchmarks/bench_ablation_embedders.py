@@ -1,0 +1,128 @@
+"""Ablation: embedder choice and the LP-exact congestion refinement.
+
+The graph-theoretic bandwidth bracket depends on two heuristics -- the
+vertex-map embedder (upper side) and the cut family (lower side).  This
+bench quantifies both against the LP-exact fractional optimum on small
+instances:
+
+* locality-aware embedders (BFS/spectral) beat random scatter by growing
+  factors on mesh-like guests;
+* the cut-family lower bound is within a small constant of the LP exact
+  optimum for every structured family tested (the cuts do not leave
+  meaningful Theta on the table);
+* shortest-path routing congestion (the bracket's upper side) is within
+  a small constant of the LP optimum too.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from conftest import emit
+from repro.bandwidth import lp_min_congestion, routing_congestion
+from repro.embedding import (
+    bfs_embedding,
+    congestion_lower_bound,
+    random_embedding,
+    spectral_embedding,
+)
+from repro.topologies import (
+    build_de_bruijn,
+    build_linear_array,
+    build_mesh,
+    build_ring,
+    build_tree,
+    build_xtree,
+)
+
+SMALL = {
+    "linear_array": lambda: build_linear_array(18),
+    "ring": lambda: build_ring(18),
+    "tree": lambda: build_tree(3),
+    "xtree": lambda: build_xtree(3),
+    "mesh_2": lambda: build_mesh(4, 2),
+    "de_bruijn": lambda: build_de_bruijn(4),
+}
+
+
+@pytest.mark.parametrize("key", sorted(SMALL))
+def test_cut_bound_near_lp_exact(key, benchmark):
+    m = SMALL[key]()
+    lp = benchmark.pedantic(lp_min_congestion, args=(m,), rounds=1, iterations=1)
+    cut = congestion_lower_bound(m)
+    assert cut <= lp + 1e-6, (key, cut, lp)  # cut is a valid lower bound
+    assert cut >= lp / 4, (key, cut, lp)  # ...and not loose
+
+
+@pytest.mark.parametrize("key", sorted(SMALL))
+def test_routing_congestion_near_lp_exact(key, benchmark):
+    m = SMALL[key]()
+    lp = lp_min_congestion(m)
+    routed = benchmark.pedantic(
+        routing_congestion, args=(m,), rounds=1, iterations=1
+    )
+    assert routed >= lp - 1  # LP is the floor
+    assert routed <= 4 * lp + 4, (key, routed, lp)  # shortest paths near-optimal
+
+
+def test_locality_embedders_beat_random(benchmark):
+    """Ring guest into a linear-array host: BFS/spectral maps achieve
+    O(1)-ish congestion where random scatter pays ~n/4."""
+    host = build_linear_array(32)
+    guest = nx.cycle_graph(32)
+
+    def run():
+        return {
+            "bfs": bfs_embedding(host, guest).congestion(),
+            "spectral": spectral_embedding(host, guest).congestion(),
+            "random": random_embedding(host, guest, seed=0).congestion(),
+        }
+
+    cong = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cong["bfs"] <= cong["random"] / 2
+    assert cong["spectral"] <= cong["random"]
+
+
+def test_embedder_dilation_tradeoff(benchmark):
+    """Mesh-into-mesh: locality embedders keep dilation near-constant."""
+    host = build_mesh(5, 2)
+    guest = nx.grid_2d_graph(5, 5)
+    bfs = bfs_embedding(host, guest)
+    rnd = random_embedding(host, guest, seed=1)
+    assert bfs.dilation() <= rnd.dilation()
+    assert bfs.average_dilation() <= rnd.average_dilation()
+
+
+def test_embedder_ablation_print(benchmark):
+    rows = []
+    for key in sorted(SMALL):
+        m = SMALL[key]()
+        lp = lp_min_congestion(m)
+        cut = congestion_lower_bound(m)
+        routed = routing_congestion(m)
+        rows.append(
+            (
+                key,
+                m.num_nodes,
+                f"{cut:8.1f}",
+                f"{lp:8.2f}",
+                f"{routed:8d}",
+                f"{routed / lp:6.2f}" if lp else "-",
+            )
+        )
+    emit(
+        format_table_local(
+            ["family", "n", "cut lower", "LP exact (frac)", "routed upper",
+             "routed/LP"],
+            rows,
+        )
+    )
+
+
+def format_table_local(headers, rows):
+    from repro.util import format_table
+
+    return format_table(
+        headers, rows, title="Congestion estimators vs LP-exact optimum"
+    )

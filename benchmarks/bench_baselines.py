@@ -1,0 +1,160 @@
+"""Baseline comparison: bandwidth bounds vs Koch et al. vs dilation.
+
+Reproduces the Section-1.2 comparison on shared (guest, host) pairs:
+
+* **mesh_k on mesh_j**: the bandwidth method and Koch's congestion
+  method give the *same* slowdown shape at the maximum host size;
+* **butterfly-class on mesh_k**: both methods force polylog hosts;
+* **tree on mesh_k**: the bandwidth bound is vacuous (Theta(1) vs
+  Theta(1)) while Koch's distance bound is polynomial -- the documented
+  weakness;
+* **expander guests**: the bandwidth method produces the same Table-3
+  row as for de Bruijn (it cannot exploit expansion), while Koch's
+  congestion argument can rule out efficient emulation on meshes
+  entirely -- the paper's stated trade-off;
+* **mesh on butterfly**: dilation bounds say Omega(lg n), bandwidth says
+  nothing -- redundant emulations (Koch's own upper bound) win.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.asymptotics import LogPoly, substitute
+from repro.baselines import (
+    bhatt_butterfly_dilation_bound,
+    koch_mesh_on_mesh_bound,
+    koch_tree_on_mesh_bound,
+)
+from repro.theory import max_host_size, symbolic_slowdown
+from repro.util import format_table
+
+
+def test_mesh_on_mesh_methods_agree(benchmark):
+    """k-dim mesh guest on j-dim mesh host: identical slowdown shape."""
+    def compare(k, j):
+        m_star = max_host_size(f"mesh_{k}", f"mesh_{j}").expr  # n^(j/k)
+        bw = symbolic_slowdown(f"mesh_{k}", f"mesh_{j}").specialise(m_star)
+        koch = substitute(koch_mesh_on_mesh_bound(k, j), m_star)
+        return m_star, bw, koch
+
+    results = benchmark.pedantic(
+        lambda: [compare(k, j) for k, j in ((2, 1), (3, 1), (3, 2), (4, 2))],
+        rounds=1,
+        iterations=1,
+    )
+    for m_star, bw, koch in results:
+        assert bw == koch, (m_star, bw, koch)
+
+
+def test_tree_guest_bandwidth_vacuous(benchmark):
+    """Both tree and mesh have the relation the bandwidth method needs
+    only when beta differs; for a tree guest the ratio is <= Theta(1),
+    while Koch's distance bound grows -- distance beats bandwidth here."""
+    bw = symbolic_slowdown("tree", "mesh_2")
+    assert bw.beta_guest / bw.beta_host <= LogPoly.one()
+    assert koch_tree_on_mesh_bound(2).tends_to_infinity
+
+
+def test_expander_guest_same_as_debruijn(benchmark):
+    """The bandwidth method treats expanders exactly like de Bruijn
+    graphs (both beta = n/lg n): it cannot see expansion."""
+    for host in ("mesh_2", "linear_array", "xtree"):
+        assert (
+            max_host_size("expander", host).expr
+            == max_host_size("de_bruijn", host).expr
+        )
+
+
+def test_mesh_on_butterfly_dilation_vs_bandwidth(benchmark):
+    """Dilation forbids what redundancy allows; bandwidth correctly
+    stays silent (max host = Theta(n))."""
+    assert bhatt_butterfly_dilation_bound("mesh_2").tends_to_infinity
+    assert max_host_size("mesh_2", "butterfly").expr == LogPoly.n()
+
+
+def test_expander_blind_spot_as_data(benchmark):
+    """Matched beta brackets, separating spectral expansion: the paper's
+    stated weakness of the bandwidth method, measured."""
+    from repro.theory import expander_gap_experiment
+
+    gap = benchmark.pedantic(
+        expander_gap_experiment,
+        kwargs={"sizes": [64, 128, 256, 512]},
+        rounds=1,
+        iterations=1,
+    )
+    db, ex = gap["de_bruijn"], gap["expander"]
+    # Bandwidth: both families' normalized beta is flat (Theta(n/lg n)).
+    for pts in (db, ex):
+        norms = [p.normalized_beta for p in pts]
+        assert max(norms) <= 2 * min(norms), norms
+    # Expansion: de Bruijn decays, expander does not.
+    assert db[-1].lambda2 < 0.6 * db[0].lambda2
+    assert ex[-1].lambda2 > 0.6 * ex[0].lambda2
+    rows = [
+        (
+            p.guest_key,
+            p.guest_size,
+            f"[{p.beta_lower:7.1f}, {p.beta_upper:7.1f}]",
+            f"{p.normalized_beta:5.2f}",
+            f"{p.lambda2:7.4f}",
+        )
+        for pts in (db, ex)
+        for p in pts
+    ]
+    emit(
+        format_table(
+            ["guest", "n", "beta bracket", "beta/(n/lg n)", "lambda_2"],
+            rows,
+            title="Expander blind spot: bandwidth matched, expansion separated",
+        )
+    )
+
+
+def test_baselines_print(benchmark):
+    rows = [
+        (
+            "mesh_3 on mesh_2",
+            str(symbolic_slowdown("mesh_3", "mesh_2").specialise(
+                max_host_size("mesh_3", "mesh_2").expr)),
+            str(substitute(koch_mesh_on_mesh_bound(3, 2),
+                           max_host_size("mesh_3", "mesh_2").expr)),
+            "-",
+        ),
+        (
+            "tree on mesh_2",
+            "O(1)  (vacuous)",
+            str(koch_tree_on_mesh_bound(2)),
+            "-",
+        ),
+        (
+            "de_bruijn on mesh_2",
+            f"host <= {max_host_size('de_bruijn', 'mesh_2').expr}",
+            "host <= polylog (2^Omega(m^(1/2)) <= n)",
+            "-",
+        ),
+        (
+            "expander on mesh_2",
+            f"host <= {max_host_size('expander', 'mesh_2').expr}",
+            "no efficient emulation at all",
+            "-",
+        ),
+        (
+            "mesh_2 on butterfly",
+            f"host <= {max_host_size('mesh_2', 'butterfly').expr}  (no obstruction)",
+            "-",
+            f"dilation >= {bhatt_butterfly_dilation_bound('mesh_2')}",
+        ),
+    ]
+    emit(
+        format_table(
+            ["pair", "bandwidth method (this paper)", "Koch et al. [7]",
+             "dilation [2]"],
+            rows,
+            title="Baseline comparison (Section 1.2)",
+        )
+    )

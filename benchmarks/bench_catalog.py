@@ -1,0 +1,74 @@
+"""The complete guest x host matrix (superset of Tables 1-3).
+
+Derives every maximum-host-size cell over the whole registry and checks
+the structural laws that tie the matrix together (diagonal = Theta(n),
+host monotonicity, guest antitonicity).  Prints a compact matrix over
+representative families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.theory import catalog_consistency_violations, full_catalog
+from repro.util import format_table
+
+REPRESENTATIVE = [
+    "linear_array",
+    "tree",
+    "xtree",
+    "mesh_2",
+    "mesh_3",
+    "pyramid_2",
+    "butterfly",
+    "de_bruijn",
+    "expander",
+    "hypercube",
+]
+
+
+def test_full_catalog_consistent(benchmark):
+    violations = benchmark.pedantic(
+        catalog_consistency_violations, rounds=1, iterations=1
+    )
+    assert violations == []
+
+
+def test_catalog_size(benchmark):
+    entries = benchmark.pedantic(full_catalog, rounds=1, iterations=1)
+    from repro.topologies import FAMILIES
+
+    assert len(entries) == len(FAMILIES) ** 2
+
+
+def test_catalog_print(benchmark):
+    entries = full_catalog(guests=REPRESENTATIVE, hosts=REPRESENTATIVE)
+    cells = {(e.guest_key, e.host_key): str(e.bound.expr) for e in entries}
+    rows = []
+    for g in REPRESENTATIVE:
+        rows.append([g] + [cells[(g, h)] for h in REPRESENTATIVE])
+    emit(
+        format_table(
+            ["guest \\ host"] + REPRESENTATIVE,
+            rows,
+            title="Maximum efficient host size f(n) per (guest, host) pair",
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "guest,host,expected",
+    [
+        ("de_bruijn", "mesh_2", "lg(n)^2"),
+        ("mesh_3", "mesh_2", "n^(2/3)"),
+        ("xtree", "tree", "n / lg(n)"),
+        # Hypercube per-processor ratio is Theta(1); a de Bruijn host's
+        # is 1/lg m, so only constant-size hosts can keep up.
+        ("hypercube", "de_bruijn", "1"),
+        ("expander", "xtree", "lg(n) lglg(n)"),
+    ],
+)
+def test_catalog_spot_cells(guest, host, expected, benchmark):
+    entries = full_catalog(guests=[guest], hosts=[host])
+    assert str(entries[0].bound.expr) == expected

@@ -1,0 +1,80 @@
+"""Figure 2 / Lemma 9: the S-node / cone / Q-set gamma-construction.
+
+The paper's Figure 2 illustrates how gamma-edges are laid through the
+circuit: bundles climb cone paths from S-nodes, then peel off one per
+level along identity edges into the Q-sets.  This bench *runs* that
+construction on three guest families across sizes and checks its two
+quantitative claims:
+
+1. gamma is a member of K_{Theta(nt), 1} -- Theta((nt)^2) edges, pairwise
+   multiplicity 1;
+2. the certified bandwidth beta(Phi, gamma) = E(gamma)/congestion is
+   Omega(t * beta(G)), uniformly across sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro import build_gamma
+from repro.topologies import build_de_bruijn, build_mesh, build_ring
+from repro.util import format_table
+
+GUESTS = {
+    "ring": [build_ring(n) for n in (8, 16, 24, 32)],
+    "mesh_2": [build_mesh(s, 2) for s in (3, 4, 5, 6)],
+    "de_bruijn": [build_de_bruijn(r) for r in (3, 4, 5, 6)],
+}
+
+
+@pytest.mark.parametrize("family", sorted(GUESTS))
+def test_gamma_k_class_membership(family, benchmark):
+    machines = GUESTS[family]
+    gc = benchmark.pedantic(
+        build_gamma, args=(machines[-1],), rounds=1, iterations=1
+    )
+    assert gc.max_multiplicity == 1
+    # Theta((nt)^2) edges: density against the vertex count squared.
+    assert gc.quasi_symmetry() >= 0.003, gc
+    # Theta(nt) vertices.
+    nt = gc.n * gc.depth
+    assert nt / 8 <= gc.num_gamma_vertices <= 2 * nt
+
+
+@pytest.mark.parametrize("family", sorted(GUESTS))
+def test_gamma_bandwidth_ratio_uniform(family, benchmark):
+    def sweep():
+        return [build_gamma(m).bandwidth_ratio() for m in GUESTS[family]]
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert min(ratios) >= 0.08, (family, ratios)
+    # Uniform: no collapse with size (largest/smallest within 4x).
+    assert min(ratios) >= max(ratios) / 4, (family, ratios)
+
+
+def test_figure2_print(benchmark):
+    rows = []
+    for family, machines in sorted(GUESTS.items()):
+        for m in machines:
+            gc = build_gamma(m)
+            rows.append(
+                (
+                    family,
+                    gc.n,
+                    gc.depth,
+                    gc.num_gamma_vertices,
+                    gc.num_gamma_edges,
+                    gc.congestion,
+                    f"{gc.beta_gamma_lower:8.1f}",
+                    f"{gc.bandwidth_ratio():6.3f}",
+                )
+            )
+    emit(
+        format_table(
+            ["guest", "n", "t", "|gamma|", "E(gamma)", "congestion",
+             "beta(Phi,gamma)", "ratio / t*beta(G)"],
+            rows,
+            title="Figure 2 / Lemma 9: gamma-construction statistics",
+        )
+    )

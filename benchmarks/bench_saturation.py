@@ -1,0 +1,83 @@
+"""Open-loop saturation: the Kruskal-Snir cost/performance view of beta.
+
+The paper's operational bandwidth definition descends from [9]'s
+offered-load methodology.  This bench sweeps injection rates on four
+machine families and checks the textbook signatures:
+
+* delivered rate tracks offered rate below saturation, then plateaus;
+* the plateau orders the families exactly as Table 4 does
+  (array < xtree < mesh < de Bruijn at n ~ 64);
+* latency stays flat below saturation and blows up above it;
+* the plateau agrees with the closed-batch bandwidth measurement within
+  constants (a third Theorem-6 consistency check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.routing import measure_bandwidth, saturation_sweep
+from repro.topologies import family_spec
+from repro.util import format_table
+
+FAMILIES = ["linear_array", "xtree", "mesh_2", "de_bruijn"]
+RATES = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+
+
+def _sweep(key: str):
+    m = family_spec(key).build_with_size(64)
+    return m, saturation_sweep(m, rates=RATES, duration=96, seed=0)
+
+
+@pytest.mark.parametrize("key", FAMILIES)
+def test_plateau_exists(key, benchmark):
+    m, pts = benchmark.pedantic(_sweep, args=(key,), rounds=1, iterations=1)
+    delivered = [p.delivered_rate for p in pts]
+    # The last doubling of offered load gains little delivered rate.
+    assert delivered[-1] <= 1.6 * delivered[-3], (key, delivered)
+
+
+def test_family_ordering_at_saturation(benchmark):
+    def plateau():
+        return {k: max(p.delivered_rate for p in _sweep(k)[1]) for k in FAMILIES}
+
+    sat = benchmark.pedantic(plateau, rounds=1, iterations=1)
+    assert sat["de_bruijn"] > sat["mesh_2"] > sat["xtree"] > sat["linear_array"]
+
+
+@pytest.mark.parametrize("key", ["linear_array", "xtree"])
+def test_latency_blowup_above_saturation(key, benchmark):
+    _, pts = _sweep(key)
+    assert pts[-1].mean_latency > 2.5 * pts[0].mean_latency, key
+
+
+@pytest.mark.parametrize("key", FAMILIES)
+def test_plateau_matches_batch_beta(key, benchmark):
+    m, pts = _sweep(key)
+    plateau = max(p.delivered_rate for p in pts)
+    batch = measure_bandwidth(m, seed=0).rate
+    assert batch / 4 <= plateau <= batch * 4, (key, plateau, batch)
+
+
+def test_saturation_print(benchmark):
+    rows = []
+    for key in FAMILIES:
+        _, pts = _sweep(key)
+        for p in pts:
+            rows.append(
+                (
+                    key,
+                    f"{p.offered_rate:5.2f}",
+                    f"{p.delivered_rate:8.2f}",
+                    f"{p.mean_latency:8.1f}",
+                    f"{p.p99_latency:8.1f}",
+                )
+            )
+    emit(
+        format_table(
+            ["family", "offered r", "delivered/tick", "mean latency", "p99"],
+            rows,
+            title="Offered-load sweeps at n ~ 64 (open-loop injection)",
+        )
+    )

@@ -1,0 +1,81 @@
+"""Table 1: maximum host sizes for j-dimensional mesh / torus / X-grid
+guests.
+
+Regenerates every cell symbolically via the monomial solver and asserts
+it equals the paper's printed form:
+
+    Linear Array / Tree / Global Bus / Weak PPN : |H| <= O(|G|^(1/j))
+    X-Tree                                      : |H| <= O(|G|^(1/j) lg|G|)
+    Mesh_k / Pyramid_k / Multigrid_k / MoT_k    : |H| <= O(|G|^(k/j))  (cap n)
+
+Also spot-checks one cell numerically: at the claimed maximum host size
+the bandwidth bound matches the load bound within constants.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.asymptotics import LogPoly
+from repro.theory import generate_table1, symbolic_slowdown
+from repro.util import format_table
+
+PAPER_CELLS = {
+    # host key -> expected exponent builder given guest dimension j
+    "linear_array": lambda j: LogPoly.n(Fraction(1, j)),
+    "tree": lambda j: LogPoly.n(Fraction(1, j)),
+    "global_bus": lambda j: LogPoly.n(Fraction(1, j)),
+    "weak_ppn": lambda j: LogPoly.n(Fraction(1, j)),
+    "xtree": lambda j: LogPoly.n(Fraction(1, j)) * LogPoly.log(),
+}
+
+
+def _mesh_class_cell(j: int, k: int) -> LogPoly:
+    return LogPoly.n(Fraction(min(k, j), j))
+
+
+def _cap_at_n(expr: LogPoly) -> LogPoly:
+    """Hosts larger than the guest are pointless: cells cap at Theta(n)."""
+    return expr if expr < LogPoly.n() else LogPoly.n()
+
+
+def _check_rows(rows, j):
+    for row in rows:
+        key = row.host_key
+        if key in PAPER_CELLS:
+            assert row.bound.expr == _cap_at_n(PAPER_CELLS[key](j)), (key, j)
+        else:
+            stem, _, k = key.rpartition("_")
+            assert row.bound.expr == _mesh_class_cell(j, int(k)), (key, j)
+
+
+@pytest.mark.parametrize("guest", ["mesh", "torus", "xgrid"])
+@pytest.mark.parametrize("j", [1, 2, 3, 4])
+def test_table1_cells_match_paper(guest, j, benchmark):
+    rows = benchmark(generate_table1, j, guest)
+    _check_rows(rows, j)
+
+
+def test_table1_print(benchmark):
+    rows = benchmark(generate_table1, 2, "mesh")
+    emit(
+        format_table(
+            ["host", "maximum host size"],
+            [(r.host_display, r.cell()) for r in rows],
+            title="Table 1 (guest = 2-dimensional mesh)",
+        )
+    )
+
+
+def test_table1_numeric_consistency(benchmark):
+    """At |H| = n^(1/2) (array host, mesh_2 guest, n = 4096) the
+    bandwidth slowdown equals the load slowdown within constants."""
+    n = 4096
+    bound = symbolic_slowdown("mesh_2", "linear_array")
+    m_star = round(n**0.5)
+    comm = bound.evaluate(n, m_star)
+    load = n / m_star
+    assert load / 4 <= comm <= load * 4

@@ -1,0 +1,56 @@
+"""Table 2: maximum host sizes for j-dimensional mesh-of-trees /
+multigrid / pyramid guests.
+
+The guests have the same bandwidth Theta(n^((j-1)/j)) as j-dim meshes
+(their trees shrink distance, not bisection), so the cells coincide with
+Table 1's; the paper's Theorem 4 applies them under the much weaker
+guest-time requirement T_G >= Omega(lg|G|).  Both facts are asserted.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import emit
+from repro.asymptotics import LogPoly
+from repro.theory import generate_table1, generate_table2, theorem_guest_time
+from repro.util import format_table
+
+
+@pytest.mark.parametrize("guest", ["mesh_of_trees", "multigrid", "pyramid"])
+@pytest.mark.parametrize("j", [1, 2, 3])
+def test_table2_cells_match_table1(guest, j, benchmark):
+    rows2 = benchmark(generate_table2, j, guest)
+    rows1 = {r.host_key: r.bound.expr for r in generate_table1(j=j)}
+    for row in rows2:
+        if row.host_key in rows1:
+            assert row.bound.expr == rows1[row.host_key], (guest, j, row.host_key)
+
+
+@pytest.mark.parametrize("j", [2, 3])
+def test_table2_xgrid_hosts(j, benchmark):
+    rows = benchmark(generate_table2, j, "pyramid")
+    cells = {r.host_key: r.bound.expr for r in rows}
+    for k in (1, 2, 3):
+        assert cells[f"xgrid_{k}"] == LogPoly.n(Fraction(min(k, j), j))
+
+
+def test_table2_guest_time_weaker_than_table1(benchmark):
+    """Theorem 3 (mesh guests) needs |G|^(1/j) steps; Theorem 4 (MoT-class
+    guests) needs only lg|G| -- their lambda is the tree diameter."""
+    assert theorem_guest_time("mesh_2").expr == LogPoly.n(Fraction(1, 2))
+    for fam in ("mesh_of_trees_2", "multigrid_2", "pyramid_2"):
+        assert theorem_guest_time(fam).expr == LogPoly.log()
+
+
+def test_table2_print(benchmark):
+    rows = benchmark(generate_table2, 2, "mesh_of_trees")
+    emit(
+        format_table(
+            ["host", "maximum host size"],
+            [(r.host_display, r.cell()) for r in rows],
+            title="Table 2 (guest = 2-dimensional mesh-of-trees)",
+        )
+    )

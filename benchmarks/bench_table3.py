@@ -1,0 +1,72 @@
+"""Table 3: maximum host sizes for the butterfly-class guests
+(Butterfly, de Bruijn, CCC, Shuffle-Exchange, Multibutterfly, Expander,
+Weak Hypercube).
+
+All seven share bandwidth Theta(n / lg n), so every guest row is
+identical -- exactly how the paper prints one shared table:
+
+    Linear Array / Tree / Bus / Weak PPN : |H| <= O(lg|G|)
+    X-Tree                               : |H| <= O(lg|G| lglg|G|)
+    Mesh_k / Pyramid_k / ... / X-Grid_k  : |H| <= O(lg^k|G|)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.asymptotics import LogPoly
+from repro.theory import generate_table3, theorem_guest_time
+from repro.util import format_table
+
+GUESTS = [
+    "butterfly",
+    "de_bruijn",
+    "ccc",
+    "shuffle_exchange",
+    "multibutterfly",
+    "expander",
+    "weak_hypercube",
+]
+
+LG = LogPoly.log()
+LGLG = LogPoly.log(level=2)
+
+
+def _expected(host_key: str) -> LogPoly:
+    if host_key == "xtree":
+        return LG * LGLG
+    if host_key in ("linear_array", "tree", "global_bus", "weak_ppn"):
+        return LG
+    _, _, k = host_key.rpartition("_")
+    return LG ** int(k)
+
+
+@pytest.mark.parametrize("guest", GUESTS)
+def test_table3_cells_match_paper(guest, benchmark):
+    rows = benchmark(generate_table3, guest)
+    for row in rows:
+        assert row.bound.expr == _expected(row.host_key), (guest, row.host_key)
+
+
+def test_table3_all_guests_identical(benchmark):
+    reference = {r.host_key: r.bound.expr for r in generate_table3(GUESTS[0])}
+    for guest in GUESTS[1:]:
+        rows = {r.host_key: r.bound.expr for r in generate_table3(guest)}
+        assert rows == reference, guest
+
+
+def test_table3_guest_time_logarithmic(benchmark):
+    for guest in GUESTS:
+        assert theorem_guest_time(guest).expr == LG
+
+
+def test_table3_print(benchmark):
+    rows = benchmark(generate_table3, "de_bruijn")
+    emit(
+        format_table(
+            ["host", "maximum host size"],
+            [(r.host_display, r.cell()) for r in rows],
+            title="Table 3 (guest = any butterfly-class machine)",
+        )
+    )

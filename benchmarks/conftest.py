@@ -1,0 +1,15 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it (run with ``-s`` to see the tables inline; they are also asserted
+against the paper's cells, so a silent green run is already a
+reproduction check).
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a bench artifact, fenced, so it is findable in -s output."""
+    print()
+    print(text)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Survey every machine family's bandwidth three ways (Theorem 6 live).
+
+For each Table-4 family this builds a concrete machine of ~256
+processors and reports:
+
+* the closed-form beta (Table 4, constants dropped),
+* the certified graph-theoretic bracket [E/C_upper, E/C_lower],
+* the operational delivery rate measured on the packet simulator,
+* the flux ceiling 2 * bisection.
+
+Theorem 6 says all of these agree to within Theta; the table makes the
+agreement (and the constant factors) visible.
+
+Run:  python examples/bandwidth_survey.py [size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import beta_bracket, beta_value, family_spec, measure_bandwidth
+from repro.bandwidth import flux_beta_upper
+from repro.theory import bottleneck_freeness
+from repro.theory.tables import TABLE4_FAMILIES
+from repro.util import format_table
+
+
+def main(size: int = 256) -> None:
+    rows = []
+    for key in TABLE4_FAMILIES:
+        m = family_spec(key).build_with_size(size)
+        br = beta_bracket(m)
+        op = measure_bandwidth(m, seed=0)
+        flux = flux_beta_upper(m)
+        form = beta_value(key, m.num_nodes)
+        rows.append(
+            (
+                family_spec(key).display,
+                m.num_nodes,
+                f"{form:9.1f}",
+                f"[{br.lower:8.1f}, {br.upper:8.1f}]",
+                f"{op.rate:9.1f}",
+                f"{flux:8.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["family", "n", "formula", "certified bracket", "measured", "flux cap"],
+            rows,
+            title=f"Bandwidth survey at ~{size} processors (Theorem 6 check)",
+        )
+    )
+    print()
+    print("Bottleneck-freeness spot checks (Theorem 1's side condition):")
+    for key in ("tree", "xtree", "mesh_2", "de_bruijn"):
+        m = family_spec(key).build_with_size(min(size, 128))
+        rep = bottleneck_freeness(m, trials=4, seed=0)
+        verdict = "ok" if rep.is_bottleneck_free() else "VIOLATION"
+        print(f"  {m.name:24s} worst quasi/symmetric ratio "
+              f"{rep.worst_ratio:5.2f}  [{verdict}]")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 256)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Capacity planning with Figure 1: how big a host is worth buying?
+
+Scenario (the paper's motivation, §1): you own an application tuned for
+guest network G and consider porting it to a machine with host network
+H.  Below the Figure-1 crossover the port is *efficient* (no work is
+wasted); above it, communication limits dominate and extra processors
+idle.  This example sweeps host sizes for three classic ports and prints
+the crossover -- the largest host worth using -- for each.
+
+Run:  python examples/choose_host_size.py
+"""
+
+from __future__ import annotations
+
+from repro import figure1_data, family_spec
+from repro.util import format_table
+
+PORTS = [
+    # (guest, host family, guest size): three migration scenarios.
+    ("de_bruijn", "mesh_2", 2**14),  # hypercubic code onto a 2-d mesh
+    ("mesh_3", "mesh_2", 2**12),  # 3-d stencil code onto a 2-d mesh
+    ("mesh_of_trees_2", "xtree", 2**12),  # hierarchical code onto an X-tree
+]
+
+
+def main() -> None:
+    for guest, host, n in PORTS:
+        f1 = figure1_data(guest, host, n)
+        gd = family_spec(guest).display
+        hd = family_spec(host).display
+        rows = [
+            (m, f"{load:10.2f}", f"{bw:10.2f}", f"{env:10.2f}")
+            for m, load, bw, env in f1.rows()
+        ]
+        print(
+            format_table(
+                ["|H|", "load bound", "bandwidth bound", "envelope"],
+                rows,
+                title=f"Figure 1: {gd} guest (n = {n}) on {hd} hosts",
+            )
+        )
+        print(
+            f"  crossover (largest efficient host): "
+            f"|H| = {f1.crossover_symbolic.render('n')} "
+            f"~ {f1.crossover_numeric:.0f} processors\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Watch Lemma 9 work: the S-node / cone / Q-set construction (Figure 2).
+
+The heart of the paper's proof is that *any* efficient circuit emulating
+t >~ lambda(G) steps of guest G contains an embedded quasi-symmetric
+traffic graph gamma with bandwidth Omega(t * beta(G)) -- communication
+work cannot be optimised away by clever redundancy.
+
+This example runs the construction on three guests, prints the gamma
+statistics (vertices ~ nt, edges ~ (nt)^2, multiplicity 1 -- the
+K_{Theta(nt),1} membership), and shows that the certified ratio
+beta(Phi, gamma) / (t * beta(G)) stays bounded away from zero as the
+guest grows: the executable content of Lemma 9.
+
+Run:  python examples/gamma_construction.py
+"""
+
+from __future__ import annotations
+
+from repro import build_gamma
+from repro.topologies import build_de_bruijn, build_mesh, build_ring
+from repro.util import format_table
+
+
+def main() -> None:
+    guests = [
+        ("ring", [build_ring(n) for n in (8, 16, 24, 32)]),
+        ("mesh_2", [build_mesh(s, 2) for s in (3, 4, 5, 6)]),
+        ("de_bruijn", [build_de_bruijn(r) for r in (3, 4, 5, 6)]),
+    ]
+    for family, machines in guests:
+        rows = []
+        for g in machines:
+            gc = build_gamma(g)
+            rows.append(
+                (
+                    g.num_nodes,
+                    gc.depth,
+                    gc.num_gamma_vertices,
+                    gc.num_gamma_edges,
+                    gc.congestion,
+                    f"{gc.beta_gamma_lower:9.1f}",
+                    f"{gc.bandwidth_ratio():6.3f}",
+                )
+            )
+        print(
+            format_table(
+                ["n", "t", "|gamma|", "E(gamma)", "congestion",
+                 "beta(Phi,gamma)", "ratio vs t*beta(G)"],
+                rows,
+                title=f"Lemma 9 on {family} guests",
+            )
+        )
+        print()
+    print("The last column staying Omega(1) across sizes is the lemma:")
+    print("the circuit's communication pattern carries t*beta(G) bandwidth")
+    print("no matter how the emulation lays the circuit out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Redundancy in action: ghost-zone emulation of a cellular guest.
+
+The paper's lower bounds are proven in the *redundant* model because
+redundant recomputation genuinely buys communication.  This example
+makes that concrete: an n-cell nearest-neighbour guest (the most general
+1-d computation) runs on m host processors with halo width w; each
+superstep exchanges halos once and then advances w guest steps locally,
+recomputing halo cells redundantly.
+
+The emulation is *bit-exact* (verified against direct execution below),
+and the cost table shows the trade the theory predicts:
+
+    slowdown/step ~ b + (w - 1) + (alpha + w)/w,    b = n/m
+
+so with per-message overhead alpha the optimum halo is w* ~ sqrt(alpha),
+and as long as w* <= b the emulation stays *efficient* (inefficiency
+I = O(1)) -- the upper bound matching the Table-1 diagonal.
+
+Run:  python examples/redundant_emulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulation import CellularGuest, GhostZoneEmulator
+from repro.util import format_table
+
+
+def main() -> None:
+    n, m, steps, alpha = 4096, 64, 24, 64
+    guest = CellularGuest(n, ring=True)
+    s0 = guest.initial_state(seed=1)
+    reference = guest.run(s0.copy(), steps)
+
+    rows = []
+    best = None
+    for w in (1, 2, 4, 8, 12, 24):
+        em = GhostZoneEmulator(guest, m, halo_width=w, alpha=alpha)
+        final, rep = em.run(s0.copy(), steps)
+        assert np.array_equal(final, reference), "emulation diverged!"
+        rows.append(
+            (
+                w,
+                f"{rep.slowdown:8.2f}",
+                f"{rep.load_bound:7.2f}",
+                f"{rep.inefficiency:6.3f}",
+                rep.comm_ticks,
+                rep.compute_ticks,
+                rep.redundant_work,
+            )
+        )
+        if best is None or rep.slowdown < best[1]:
+            best = (w, rep.slowdown)
+    print(
+        format_table(
+            ["halo w", "slowdown", "load n/m", "ineff I", "comm ticks",
+             "compute ticks", "redundant updates"],
+            rows,
+            title=(
+                f"Ghost-zone emulation: n={n} ring guest on m={m} hosts, "
+                f"{steps} steps, per-message overhead alpha={alpha} "
+                f"(all rows verified bit-exact)"
+            ),
+        )
+    )
+    print(
+        f"\nBest halo w = {best[0]} (~sqrt(alpha) = {alpha ** 0.5:.0f}): "
+        f"redundant recomputation amortises the message overhead, keeping\n"
+        f"the emulation in the efficient regime the bandwidth bounds allow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Print any of the paper's tables from the command line.
+
+Usage:
+    python examples/table_explorer.py table1 [--guest mesh|torus|xgrid] [--j 2]
+    python examples/table_explorer.py table2 [--guest mesh_of_trees|multigrid|pyramid] [--j 2]
+    python examples/table_explorer.py table3 [--guest de_bruijn|butterfly|...]
+    python examples/table_explorer.py table4
+    python examples/table_explorer.py pair GUEST_KEY HOST_KEY
+
+The ``pair`` mode answers one cell for arbitrary registry families, e.g.
+
+    python examples/table_explorer.py pair shuffle_exchange pyramid_3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import max_host_size, symbolic_slowdown
+from repro.theory import (
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_table4,
+    theorem_guest_time,
+)
+from repro.util import format_table
+
+
+def _print_host_table(rows, title):
+    print(
+        format_table(
+            ["host", "maximum host size"],
+            [(r.host_display, r.cell()) for r in rows],
+            title=title,
+        )
+    )
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("table", choices=["table1", "table2", "table3", "table4", "pair"])
+    ap.add_argument("keys", nargs="*", help="guest/host keys for 'pair' mode")
+    ap.add_argument("--guest", default=None, help="guest family stem")
+    ap.add_argument("--j", type=int, default=2, help="guest dimension")
+    args = ap.parse_args()
+
+    if args.table == "table1":
+        guest = args.guest or "mesh"
+        rows = generate_table1(j=args.j, guest=guest)
+        _print_host_table(
+            rows, f"Table 1: efficient emulation of {args.j}-dim {guest} guests"
+        )
+    elif args.table == "table2":
+        guest = args.guest or "mesh_of_trees"
+        rows = generate_table2(j=args.j, guest=guest)
+        _print_host_table(
+            rows, f"Table 2: efficient emulation of {args.j}-dim {guest} guests"
+        )
+    elif args.table == "table3":
+        guest = args.guest or "de_bruijn"
+        rows = generate_table3(guest)
+        _print_host_table(rows, f"Table 3: efficient emulation of {guest} guests")
+    elif args.table == "table4":
+        print(
+            format_table(
+                ["machine", "beta", "Delta"],
+                generate_table4(),
+                title="Table 4: bandwidth and minimal computation time",
+            )
+        )
+    else:
+        if len(args.keys) != 2:
+            ap.error("pair mode needs GUEST_KEY and HOST_KEY")
+        guest, host = args.keys
+        bound = symbolic_slowdown(guest, host)
+        size = max_host_size(guest, host)
+        tmin = theorem_guest_time(guest)
+        print(f"guest {guest}, host {host}:")
+        print(f"  {bound}")
+        print(f"  maximum efficient host: |H| <= {size.render('|G|')}")
+        print(f"  (valid for computations of T_G >= {tmin.render('|G|')} steps)")
+
+
+if __name__ == "__main__":
+    main()

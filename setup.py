@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim keeps the legacy path working::
+
+    python setup.py develop
+
+which is what the Makefile-style instructions in the README use as a
+fallback.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Exact asymptotic algebra over log-polynomial monomials.
+
+The paper's Tables 1-3 are produced by a single manipulation: write the
+communication-induced slowdown ``S_c = beta_G(n) / beta_H(m)``, set it
+equal to the load-induced slowdown ``n / m``, and solve for ``m`` as a
+function of ``n``.  Every quantity involved is a *log-polynomial
+monomial* -- a product of powers of the iterated logarithms of the size::
+
+    n^{e_0} * (lg n)^{e_1} * (lglg n)^{e_2} * ...
+
+with rational exponents.  This subpackage implements that algebra exactly
+(``LogPoly``), the asymptotic-equation solver (``solve_monomial``), and
+Theta/O/Omega display wrappers (``Theta`` et al.), so the paper's tables
+are derived rather than transcribed.
+"""
+
+from repro.asymptotics.bounds import BigO, Bound, Omega, Theta
+from repro.asymptotics.logpoly import LOG_LEVELS, LogPoly
+from repro.asymptotics.parse import parse_logpoly, theta_max, theta_min
+from repro.asymptotics.solve import solve_monomial, substitute
+
+__all__ = [
+    "BigO",
+    "Bound",
+    "LOG_LEVELS",
+    "LogPoly",
+    "Omega",
+    "parse_logpoly",
+    "Theta",
+    "solve_monomial",
+    "substitute",
+    "theta_max",
+    "theta_min",
+]

@@ -1,0 +1,55 @@
+"""Theta / O / Omega display wrappers around :class:`LogPoly`.
+
+The tables in the paper report cells like ``|H| <= O(|G|^{1/j} lg|G|)``.
+A :class:`Bound` pairs a LogPoly with the bound kind so table generators
+can render paper-style cells while keeping the underlying expression
+exact and comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asymptotics.logpoly import LogPoly
+
+__all__ = ["Bound", "Theta", "BigO", "Omega"]
+
+_SYMBOLS = {"Theta": "Theta", "O": "O", "Omega": "Omega"}
+
+
+@dataclass(frozen=True)
+class Bound:
+    """An asymptotic bound: a kind (Theta/O/Omega) plus an exact LogPoly."""
+
+    kind: str
+    expr: LogPoly
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SYMBOLS:
+            raise ValueError(f"kind must be one of {sorted(_SYMBOLS)}, got {self.kind}")
+
+    def __str__(self) -> str:
+        return f"{_SYMBOLS[self.kind]}({self.expr})"
+
+    def render(self, var: str = "n") -> str:
+        """Render with a custom variable name, e.g. ``|G|``."""
+        return str(self).replace("n", var) if var != "n" else str(self)
+
+    def evaluate(self, n: float) -> float:
+        """Numeric value of the underlying expression (constants dropped)."""
+        return self.expr.evaluate(n)
+
+
+def Theta(expr: LogPoly) -> Bound:
+    """Tight bound."""
+    return Bound("Theta", expr)
+
+
+def BigO(expr: LogPoly) -> Bound:
+    """Upper bound."""
+    return Bound("O", expr)
+
+
+def Omega(expr: LogPoly) -> Bound:
+    """Lower bound."""
+    return Bound("Omega", expr)

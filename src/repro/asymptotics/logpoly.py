@@ -1,0 +1,245 @@
+"""Log-polynomial monomials with exact rational exponents.
+
+A ``LogPoly`` represents a function of a single size variable ``n`` of the
+form::
+
+    n^{e_0} * (lg n)^{e_1} * (lglg n)^{e_2} * (lglglg n)^{e_3} * (lg^(4) n)^{e_4}
+
+with each ``e_i`` a ``fractions.Fraction``.  This family is closed under
+multiplication, division and rational powers, is totally ordered by
+eventual dominance (lexicographic comparison of the exponent vector), and
+contains every quantity appearing in the paper's Tables 1-4: machine
+bandwidths, diameters, slowdowns, and maximum host sizes.
+
+All arithmetic is exact; there is no floating point anywhere except in
+:meth:`LogPoly.evaluate`, which is provided for plotting and numeric
+spot-checks.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Union
+
+__all__ = ["LOG_LEVELS", "LogPoly"]
+
+#: Number of iterated-log levels carried (level 0 is ``n`` itself).  Five
+#: levels resolve every expression in the paper; deeper towers raise.
+LOG_LEVELS = 5
+
+_LEVEL_NAMES = ("n", "lg(n)", "lglg(n)", "lglglg(n)", "lg^(4)(n)")
+
+RationalLike = Union[int, Fraction]
+
+
+def _as_fraction(x: RationalLike) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int) and not isinstance(x, bool):
+        return Fraction(x)
+    raise TypeError(f"exponent must be int or Fraction, got {type(x).__name__}")
+
+
+class LogPoly:
+    """An exact log-polynomial monomial in one size variable.
+
+    Instances are immutable and hashable.  Construct with the class-method
+    factories (:meth:`one`, :meth:`n`, :meth:`log`) and combine with
+    ``*``, ``/`` and ``**``::
+
+        >>> beta_mesh2 = LogPoly.n(Fraction(1, 2))       # Theta(sqrt(n))
+        >>> beta_debruijn = LogPoly.n() / LogPoly.log()  # Theta(n / lg n)
+        >>> str(beta_debruijn)
+        'n / lg(n)'
+    """
+
+    __slots__ = ("_exps",)
+
+    def __init__(self, exponents: Iterable[RationalLike] = ()):
+        exps = [_as_fraction(e) for e in exponents]
+        if len(exps) > LOG_LEVELS:
+            raise ValueError(
+                f"at most {LOG_LEVELS} log levels supported, got {len(exps)}"
+            )
+        exps.extend([Fraction(0)] * (LOG_LEVELS - len(exps)))
+        object.__setattr__(self, "_exps", tuple(exps))
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def one(cls) -> "LogPoly":
+        """The constant function Theta(1)."""
+        return cls()
+
+    @classmethod
+    def n(cls, power: RationalLike = 1) -> "LogPoly":
+        """``n**power``."""
+        return cls([power])
+
+    @classmethod
+    def log(cls, level: int = 1, power: RationalLike = 1) -> "LogPoly":
+        """``(log^(level) n)**power`` -- level 1 is ``lg n``, 2 is ``lglg n``."""
+        if not 1 <= level < LOG_LEVELS:
+            raise ValueError(f"log level must be in [1, {LOG_LEVELS - 1}], got {level}")
+        exps = [Fraction(0)] * (level + 1)
+        exps[level] = _as_fraction(power)
+        return cls(exps)
+
+    @classmethod
+    def from_exponents(cls, exponents: Iterable[RationalLike]) -> "LogPoly":
+        """Build directly from an exponent vector (level 0 first)."""
+        return cls(exponents)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def exponents(self) -> tuple[Fraction, ...]:
+        """The exponent vector, level 0 (``n``) first."""
+        return self._exps
+
+    @property
+    def is_constant(self) -> bool:
+        """True iff this is Theta(1)."""
+        return all(e == 0 for e in self._exps)
+
+    @property
+    def leading_level(self) -> int | None:
+        """Index of the first nonzero exponent, or None for Theta(1)."""
+        for i, e in enumerate(self._exps):
+            if e != 0:
+                return i
+        return None
+
+    @property
+    def leading_exponent(self) -> Fraction:
+        """Exponent at the leading level (0 for Theta(1))."""
+        lvl = self.leading_level
+        return Fraction(0) if lvl is None else self._exps[lvl]
+
+    @property
+    def tends_to_infinity(self) -> bool:
+        """True iff the function grows without bound."""
+        return self.leading_exponent > 0
+
+    @property
+    def tends_to_zero(self) -> bool:
+        """True iff the function vanishes as ``n -> oo``."""
+        return self.leading_exponent < 0
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "LogPoly") -> "LogPoly":
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return LogPoly(a + b for a, b in zip(self._exps, other._exps))
+
+    def __truediv__(self, other: "LogPoly") -> "LogPoly":
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return LogPoly(a - b for a, b in zip(self._exps, other._exps))
+
+    def __pow__(self, power: RationalLike) -> "LogPoly":
+        p = _as_fraction(power)
+        return LogPoly(e * p for e in self._exps)
+
+    def inverse(self) -> "LogPoly":
+        """Multiplicative inverse ``1 / f``."""
+        return LogPoly(-e for e in self._exps)
+
+    # -- ordering (eventual dominance) --------------------------------------
+
+    def _cmp_key(self) -> tuple[Fraction, ...]:
+        return self._exps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return self._exps == other._exps
+
+    def __hash__(self) -> int:
+        return hash(self._exps)
+
+    def __lt__(self, other: "LogPoly") -> bool:
+        """``f < g`` iff ``f(n) = o(g(n))`` (strict eventual dominance)."""
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return self._cmp_key() < other._cmp_key()
+
+    def __le__(self, other: "LogPoly") -> bool:
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return self._cmp_key() <= other._cmp_key()
+
+    def __gt__(self, other: "LogPoly") -> bool:
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return self._cmp_key() > other._cmp_key()
+
+    def __ge__(self, other: "LogPoly") -> bool:
+        if not isinstance(other, LogPoly):
+            return NotImplemented
+        return self._cmp_key() >= other._cmp_key()
+
+    def dominates(self, other: "LogPoly") -> bool:
+        """True iff ``other(n) = O(self(n))`` (i.e. self grows at least as fast)."""
+        return self >= other
+
+    # -- numerics -----------------------------------------------------------
+
+    def evaluate(self, n: float) -> float:
+        """Evaluate at a concrete size ``n`` (logs are base 2).
+
+        Only the log levels with nonzero exponent are computed, so e.g.
+        ``Theta(lg n)`` evaluates for any ``n > 1`` even though level 4 of
+        the tower would be undefined there.
+        """
+        if n <= 1:
+            raise ValueError(f"evaluate requires n > 1, got {n}")
+        top = max(
+            (lvl for lvl, e in enumerate(self._exps) if e != 0), default=-1
+        )
+        result = 1.0
+        tower = float(n)
+        for level in range(top + 1):
+            exp = self._exps[level]
+            if level > 0:
+                if tower <= 1.0:
+                    raise ValueError(
+                        f"log level {level} non-positive at n={n}; increase n"
+                    )
+                tower = math.log2(tower)
+            if exp != 0:
+                result *= tower ** float(exp)
+        return result
+
+    # -- display ------------------------------------------------------------
+
+    def _factor_str(self, level: int, exp: Fraction) -> str:
+        name = _LEVEL_NAMES[level]
+        if exp == 1:
+            return name
+        if exp.denominator == 1:
+            return f"{name}^{exp.numerator}"
+        return f"{name}^({exp})"
+
+    def __str__(self) -> str:
+        num = [
+            self._factor_str(i, e) for i, e in enumerate(self._exps) if e > 0
+        ]
+        den = [
+            self._factor_str(i, -e) for i, e in enumerate(self._exps) if e < 0
+        ]
+        if not num and not den:
+            return "1"
+        num_s = " ".join(num) if num else "1"
+        if not den:
+            return num_s
+        den_s = " ".join(den)
+        if len(den) > 1:
+            den_s = f"({den_s})"
+        return f"{num_s} / {den_s}"
+
+    def __repr__(self) -> str:
+        exps = ", ".join(str(e) for e in self._exps)
+        return f"LogPoly([{exps}])"

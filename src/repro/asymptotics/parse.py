@@ -1,0 +1,127 @@
+"""Parsing and combining LogPoly expressions.
+
+``parse_logpoly`` accepts exactly the notation :meth:`LogPoly.__str__`
+produces (so parse/str round-trips, property-tested), which is also the
+natural way to write cells by hand::
+
+    parse_logpoly("n^(1/2) lg(n)")        # Theta(sqrt(n) log n)
+    parse_logpoly("n / lg(n)^2")
+    parse_logpoly("1 / (n lg(n))")
+
+``theta_max``/``theta_min`` implement Theta(f + g) = Theta(max(f, g))
+and its dual -- the sum and intersection operations of asymptotic
+arithmetic that pure monomials lack.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from repro.asymptotics.logpoly import LOG_LEVELS, LogPoly
+
+__all__ = ["parse_logpoly", "theta_max", "theta_min"]
+
+_NAME_LEVEL = {
+    "n": 0,
+    "lg(n)": 1,
+    "lglg(n)": 2,
+    "lglglg(n)": 3,
+    "lg^(4)(n)": 4,
+}
+
+_FACTOR_RE = re.compile(
+    r"(?P<name>lg\^\(4\)\(n\)|lglglg\(n\)|lglg\(n\)|lg\(n\)|n|1)"
+    r"(?:\^(?:\((?P<frac>-?\d+(?:/\d+)?)\)|(?P<int>-?\d+)))?"
+)
+
+
+class ParseError(ValueError):
+    """The string is not a valid LogPoly rendering."""
+
+
+def _parse_product(text: str) -> LogPoly:
+    text = text.strip()
+    if text.startswith("(") and text.endswith(")"):
+        text = text[1:-1].strip()
+    if not text:
+        raise ParseError("empty factor group")
+    result = LogPoly.one()
+    pos = 0
+    while pos < len(text):
+        if text[pos] in " *":
+            pos += 1
+            continue
+        m = _FACTOR_RE.match(text, pos)
+        if not m:
+            raise ParseError(f"cannot parse factor at {text[pos:]!r}")
+        name = m.group("name")
+        if m.group("frac") is not None:
+            power = Fraction(m.group("frac"))
+        elif m.group("int") is not None:
+            power = Fraction(int(m.group("int")))
+        else:
+            power = Fraction(1)
+        if name != "1":
+            level = _NAME_LEVEL[name]
+            exps = [Fraction(0)] * LOG_LEVELS
+            exps[level] = power
+            result = result * LogPoly.from_exponents(exps)
+        pos = m.end()
+    return result
+
+
+def _split_division(text: str) -> list[str]:
+    """Split on '/' at paren depth 0 only (fraction exponents live
+    inside parentheses, e.g. ``n^(1/2)``)."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced ')' in {text!r}")
+        elif ch == "/" and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if depth != 0:
+        raise ParseError(f"unbalanced '(' in {text!r}")
+    parts.append(text[start:])
+    return parts
+
+
+def parse_logpoly(text: str) -> LogPoly:
+    """Parse the ``str(LogPoly)`` notation back into a LogPoly."""
+    if not isinstance(text, str):
+        raise TypeError(f"expected str, got {type(text).__name__}")
+    parts = _split_division(text)
+    if len(parts) > 2:
+        raise ParseError(f"at most one top-level '/' allowed, got {text!r}")
+    num = _parse_product(parts[0])
+    if len(parts) == 2:
+        den = _parse_product(parts[1])
+        return num / den
+    return num
+
+
+def theta_max(*terms: LogPoly) -> LogPoly:
+    """Theta(f_1 + ... + f_k) = the dominant term."""
+    if not terms:
+        raise ValueError("theta_max needs at least one term")
+    best = terms[0]
+    for t in terms[1:]:
+        if t > best:
+            best = t
+    return best
+
+
+def theta_min(*terms: LogPoly) -> LogPoly:
+    """Theta(min(f_1, ..., f_k)) = the slowest-growing term."""
+    if not terms:
+        raise ValueError("theta_min needs at least one term")
+    best = terms[0]
+    for t in terms[1:]:
+        if t < best:
+            best = t
+    return best

@@ -1,0 +1,144 @@
+"""Solving asymptotic monomial equations.
+
+The host-size derivations of Tables 1-3 reduce to one primitive: given an
+equation
+
+    f(m) = t(n)
+
+where ``f`` is a :class:`~repro.asymptotics.LogPoly` in its own variable
+``m`` and ``t`` is a LogPoly in ``n``, find ``m(n)`` as a LogPoly in ``n``
+such that the equation holds to within Theta(.).
+
+The solver uses the standard iterated-log identity: if
+``m = Theta( prod_{l >= k} (log^(l) n)^{x_l} )`` with ``x_k > 0``, then for
+every ``i >= 1``::
+
+    log^(i) m  =  Theta( log^(k+i) n )
+
+so the log-factors of ``f(m)`` can be rewritten as log-factors of ``n``
+shifted down the tower by ``k`` levels, after which the equation is solved
+by exponent matching.  :func:`substitute` implements exactly the same
+identity, so ``substitute(f, solve_monomial(f, t)) == t`` is an exact
+round-trip (property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.asymptotics.logpoly import LOG_LEVELS, LogPoly
+
+__all__ = ["solve_monomial", "substitute", "UnsolvableError"]
+
+
+class UnsolvableError(ValueError):
+    """The equation has no log-polynomial solution (e.g. ``lg m = n``)."""
+
+
+def substitute(f: LogPoly, m_expr: LogPoly) -> LogPoly:
+    """Evaluate ``f(m)`` at ``m = m_expr(n)``, to within Theta(.).
+
+    ``m_expr`` must tend to infinity (otherwise its iterated logs are not
+    asymptotically positive and the Theta-identity fails).
+    """
+    if not m_expr.tends_to_infinity:
+        if m_expr.is_constant:
+            # m = Theta(1): f(m) = Theta(1) whenever f has no level-0 blowup.
+            return LogPoly.one()
+        raise UnsolvableError(
+            f"substitution target must tend to infinity, got {m_expr}"
+        )
+    k = m_expr.leading_level
+    assert k is not None
+    p = f.exponents
+    # m^{p_0} contributes m_expr ** p_0.
+    result = m_expr ** p[0]
+    # (log^(i) m)^{p_i} contributes (log^(k+i) n)^{p_i}.
+    for i in range(1, LOG_LEVELS):
+        if p[i] == 0:
+            continue
+        if k + i >= LOG_LEVELS:
+            raise UnsolvableError(
+                f"log tower overflow: log^({i}) of {m_expr} needs level {k + i}"
+            )
+        result = result * LogPoly.log(level=k + i, power=p[i])
+    return result
+
+
+def _solve_with_level0(f: LogPoly, t: LogPoly) -> LogPoly:
+    """Solve ``f(m) = t(n)`` when ``f`` has a nonzero level-0 exponent."""
+    p = f.exponents
+    p0 = p[0]
+    assert p0 != 0
+    if t.is_constant:
+        return LogPoly.one()
+    k = t.leading_level
+    assert k is not None
+    a_k = t.exponents[k]
+    # m's leading level equals t's leading level (dividing by deeper-level
+    # log factors cannot change the level-k exponent), and its leading
+    # exponent is a_k / p0, which must be positive for m -> infinity.
+    if a_k / p0 <= 0:
+        raise UnsolvableError(
+            f"no growing solution: leading exponents {a_k} vs {p0} disagree in sign"
+        )
+    adjusted = t
+    for i in range(1, LOG_LEVELS):
+        if p[i] == 0:
+            continue
+        if k + i >= LOG_LEVELS:
+            raise UnsolvableError(
+                f"log tower overflow solving {f} = {t} (need level {k + i})"
+            )
+        adjusted = adjusted / LogPoly.log(level=k + i, power=p[i])
+    m = adjusted ** (Fraction(1) / p0)
+    if m.leading_level != k or not m.tends_to_infinity:
+        raise UnsolvableError(f"inconsistent solution {m} for {f} = {t}")
+    return m
+
+
+def solve_monomial(f: LogPoly, t: LogPoly) -> LogPoly:
+    """Solve ``f(m) = t(n)`` for ``m`` as a LogPoly in ``n``.
+
+    Raises :class:`UnsolvableError` when no log-polynomial solution exists
+    (for example ``lg m = n``, whose solution is exponential) or when the
+    solution would need a deeper log tower than :data:`LOG_LEVELS`.
+
+    >>> from repro.asymptotics import LogPoly
+    >>> # de Bruijn guest on a 2-d mesh host: sqrt(m) = lg n  =>  m = lg^2 n
+    >>> str(solve_monomial(LogPoly.n(Fraction(1, 2)), LogPoly.log()))
+    'lg(n)^2'
+    """
+    if f.is_constant:
+        if t.is_constant:
+            raise UnsolvableError("f and t are both Theta(1): m is unconstrained")
+        raise UnsolvableError(f"constant f cannot equal growing/vanishing t = {t}")
+
+    j = f.leading_level
+    assert j is not None
+    if j == 0:
+        return _solve_with_level0(f, t)
+
+    # f involves only log factors of m: f(m) = g(w) where w = log^(j) m and
+    # g is f shifted down j levels.  Solve for w, then push back up the
+    # tower -- representable only when w is a bare tower level.
+    g = LogPoly.from_exponents(f.exponents[j:])
+    w = solve_monomial(g, t)
+    if w.is_constant:
+        # log^(j) m = Theta(1)  =>  m = Theta(1).
+        return LogPoly.one()
+    w_exps = w.exponents
+    nonzero = [(i, e) for i, e in enumerate(w_exps) if e != 0]
+    if len(nonzero) != 1 or nonzero[0][1] != 1:
+        raise UnsolvableError(
+            f"solution requires exp of {w}, which is not log-polynomial"
+        )
+    level, _ = nonzero[0]
+    if level < j:
+        raise UnsolvableError(
+            f"solution 2^^{j} applied to {w} leaves the log-polynomial family"
+        )
+    new_level = level - j
+    if new_level == 0:
+        return LogPoly.n()
+    return LogPoly.log(level=new_level)

@@ -1,0 +1,43 @@
+"""Betweenness-based fractional congestion estimate.
+
+A third congestion estimator between the cut bounds (fast, certified
+lower) and deterministic routing (certified upper): edge betweenness
+centrality counts, for every pair, the *fraction* of shortest paths
+through each link -- i.e. the link loads of the canonical fractional
+shortest-path routing that splits each pair's flow evenly across all its
+shortest paths.  Its maximum load
+
+* lower-bounds the congestion of any *shortest-path-restricted* routing
+  (fractional optimum over shortest paths <= any concrete choice), and
+* upper-bounds nothing in general (non-shortest detours can unload a
+  hot link), so it is reported as an *estimate*, sitting between the
+  LP-exact optimum and the deterministic routing in practice.
+
+Used by the estimator ablation to quantify how much determinism (one
+path per pair) costs over even splitting.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topologies.base import Machine
+
+__all__ = ["betweenness_congestion", "betweenness_beta_estimate"]
+
+
+def betweenness_congestion(machine: Machine) -> float:
+    """Max link load of the even-split shortest-path fractional routing
+    of complete (unordered-pair) traffic."""
+    bc = nx.edge_betweenness_centrality(machine.graph, normalized=False)
+    # networkx counts each unordered pair once for undirected graphs.
+    return max(bc.values()) if bc else 0.0
+
+
+def betweenness_beta_estimate(machine: Machine) -> float:
+    """beta estimate: E(K_n) over the betweenness congestion."""
+    n = machine.num_nodes
+    c = betweenness_congestion(machine)
+    if c <= 0:
+        return float("inf")
+    return (n * (n - 1) / 2) / c

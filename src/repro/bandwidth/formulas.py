@@ -1,0 +1,33 @@
+"""Closed-form bandwidth and minimal-computation-time (Table 4).
+
+Thin accessors over the family registry: ``beta_formula("mesh_2")``
+returns the exact LogPoly ``n^(1/2)``, and ``beta_value("mesh_2", 4096)``
+its numeric value (constants dropped, as in any Theta expression).
+"""
+
+from __future__ import annotations
+
+from repro.asymptotics import LogPoly
+from repro.topologies.registry import family_spec
+
+__all__ = ["beta_formula", "beta_value", "delta_formula", "delta_value"]
+
+
+def beta_formula(family_key: str) -> LogPoly:
+    """Closed-form bandwidth beta as a function of machine size n."""
+    return family_spec(family_key).beta
+
+
+def delta_formula(family_key: str) -> LogPoly:
+    """Closed-form minimal-computation-time Delta (diameter scale)."""
+    return family_spec(family_key).delta
+
+
+def beta_value(family_key: str, n: float) -> float:
+    """Numeric beta at size n (Theta constants dropped)."""
+    return beta_formula(family_key).evaluate(n)
+
+
+def delta_value(family_key: str, n: float) -> float:
+    """Numeric Delta at size n (Theta constants dropped)."""
+    return delta_formula(family_key).evaluate(n)

@@ -1,0 +1,144 @@
+"""Graph-theoretic bandwidth: ``beta(H, T) = E(T) / C(H, T)``.
+
+Minimum congestion ``C(H, T)`` is NP-hard, so we bracket it:
+
+* **upper bound on C** (hence *lower* bound on beta): the congestion of a
+  concrete shortest-path routing.  For complete (symmetric) traffic this
+  is computed exactly in O(n^2) by the BFS-tree subtree trick: routing
+  every source toward destination ``d`` along the deterministic next-hop
+  tree loads each tree link with the size of the subtree hanging below
+  it.
+* **lower bound on C** (hence *upper* bound on beta): the best cut bound
+  from :mod:`repro.embedding.lower_bounds`.
+
+Both sides use the unordered-pair convention: ``E(K_n) = n(n-1)/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.lower_bounds import congestion_lower_bound
+from repro.routing.tables import NextHopTables
+from repro.topologies.base import Machine
+from repro.traffic.multigraph import TrafficMultigraph
+
+__all__ = [
+    "BetaBracket",
+    "routing_congestion",
+    "beta_lower",
+    "beta_upper",
+    "beta_bracket",
+]
+
+
+@dataclass(frozen=True)
+class BetaBracket:
+    """A rigorous interval around the graph-theoretic bandwidth."""
+
+    machine_name: str
+    lower: float
+    upper: float
+    congestion_upper: float
+    congestion_lower: float
+    traffic_edges: float
+
+    @property
+    def geometric_mid(self) -> float:
+        """Geometric midpoint -- a reasonable point estimate of beta."""
+        return float(np.sqrt(self.lower * self.upper))
+
+    def __str__(self) -> str:
+        return (
+            f"beta({self.machine_name}) in [{self.lower:.3f}, {self.upper:.3f}]"
+        )
+
+
+def routing_congestion(
+    machine: Machine, traffic: TrafficMultigraph | None = None
+) -> int:
+    """Congestion of deterministic shortest-path routing of ``traffic``.
+
+    ``traffic=None`` means complete symmetric traffic (every unordered
+    pair once), computed by the subtree trick: for each destination the
+    BFS next-hop pointers form a tree, and the load a tree link carries
+    is the number of sources below it.  Each unordered pair is counted
+    twice (once per direction); the result is halved, which is still a
+    valid congestion of a one-path-per-pair routing up to the +/-1 of
+    direction asymmetry (and exact at Theta level).
+    """
+    n = machine.num_nodes
+    tables = NextHopTables(machine)
+
+    if traffic is not None:
+        loads: dict[tuple[int, int], int] = {}
+        for (u, v), w in traffic.weights.items():
+            path = tables.path(u, v)
+            for a, b in zip(path, path[1:]):
+                key = (a, b) if a < b else (b, a)
+                loads[key] = loads.get(key, 0) + w
+        return max(loads.values()) if loads else 0
+
+    # Complete traffic: subtree sizes along each destination tree.
+    edge_index: dict[tuple[int, int], int] = {}
+    for i, (u, v) in enumerate(machine.graph.edges()):
+        edge_index[(u, v) if u < v else (v, u)] = i
+    loads_arr = np.zeros(len(edge_index), dtype=np.int64)
+
+    for d in range(n):
+        dist = tables.distance_array(d)
+        nxt = tables._next[d]  # built by distance_array
+        order = np.argsort(dist, kind="stable")[::-1]  # farthest first
+        sizes = np.ones(n, dtype=np.int64)
+        for v in order:
+            v = int(v)
+            if v == d:
+                continue
+            p = int(nxt[v])
+            sizes[p] += sizes[v]
+            key = (v, p) if v < p else (p, v)
+            loads_arr[edge_index[key]] += sizes[v]
+    # Ordered pairs were routed (every s->d); halve for unordered.
+    return int(np.ceil(loads_arr.max() / 2)) if len(loads_arr) else 0
+
+
+def beta_lower(machine: Machine) -> float:
+    """Lower bound on beta(H): complete-traffic edges over achieved congestion."""
+    n = machine.num_nodes
+    c_up = routing_congestion(machine)
+    if c_up == 0:
+        return float("inf")
+    return (n * (n - 1) / 2) / c_up
+
+
+def beta_upper(machine: Machine, max_cuts: int = 24) -> float:
+    """Upper bound on beta(H) from the best congestion cut bound."""
+    n = machine.num_nodes
+    c_low = congestion_lower_bound(machine, n_guest=n, max_cuts=max_cuts)
+    if c_low <= 0:
+        return float("inf")
+    return (n * (n - 1) / 2) / c_low
+
+
+def beta_bracket(machine: Machine, max_cuts: int = 24) -> BetaBracket:
+    """Rigorous [lower, upper] interval for the machine bandwidth beta(H)."""
+    n = machine.num_nodes
+    edges = n * (n - 1) / 2
+    c_up = routing_congestion(machine)
+    c_low = congestion_lower_bound(machine, n_guest=n, max_cuts=max_cuts)
+    lower = edges / c_up if c_up else float("inf")
+    upper = edges / c_low if c_low else float("inf")
+    # The bracket is valid by construction; numeric ties can invert it by
+    # rounding, so clamp.
+    if lower > upper:
+        lower, upper = min(lower, upper), max(lower, upper)
+    return BetaBracket(
+        machine_name=machine.name,
+        lower=lower,
+        upper=upper,
+        congestion_upper=float(c_up),
+        congestion_lower=float(c_low),
+        traffic_edges=edges,
+    )

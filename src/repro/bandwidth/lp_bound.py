@@ -1,0 +1,116 @@
+"""LP-certified congestion lower bounds (exact fractional congestion).
+
+The cut family in :mod:`repro.embedding.lower_bounds` gives fast lower
+bounds on the minimum congestion ``C(H, T)``; this module computes the
+*exact fractional* minimum congestion by linear programming, which is a
+tighter certified lower bound on the integral optimum (fractional <=
+integral) and lets the ablation bench quantify how much the cut family
+leaves on the table.
+
+Formulation (multicommodity flow, one commodity per traffic pair):
+
+    minimise z
+    s.t.  for each commodity k:   flow conservation with demand w_k
+          for each undirected link e:  sum_k (f_k(e->) + f_k(e<-)) <= z
+
+Variables: per-commodity flows on directed links, plus z; solved with
+``scipy.optimize.linprog`` (HiGHS).  Problem size is (pairs * 2E + 1)
+variables, so this is for small instances (the ablation uses n <= 36);
+``max_pairs`` guards against accidental K_n-sized calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import lil_matrix
+
+from repro.topologies.base import Machine
+from repro.traffic.multigraph import TrafficMultigraph
+
+__all__ = ["lp_min_congestion", "lp_beta_upper"]
+
+
+def lp_min_congestion(
+    machine: Machine,
+    traffic: TrafficMultigraph | None = None,
+    max_pairs: int = 800,
+) -> float:
+    """Exact minimum *fractional* congestion of routing ``traffic``.
+
+    ``traffic=None`` means complete symmetric traffic (every unordered
+    pair, multiplicity 1).  Returns a certified lower bound on the
+    integral minimum congestion C(H, T).
+    """
+    n = machine.num_nodes
+    if traffic is None:
+        traffic = TrafficMultigraph(
+            n, {(u, v): 1 for u in range(n) for v in range(u + 1, n)}
+        )
+    if traffic.n > n:
+        raise ValueError(f"traffic over {traffic.n} vertices, host has {n}")
+    pairs = [(u, v, w) for (u, v), w in sorted(traffic.weights.items()) if w > 0]
+    if not pairs:
+        return 0.0
+    if len(pairs) > max_pairs:
+        raise ValueError(
+            f"{len(pairs)} commodities exceeds max_pairs={max_pairs}; "
+            "use the cut bounds for large instances"
+        )
+
+    edges = list(machine.graph.edges())
+    ne = len(edges)
+    k = len(pairs)
+    # Variable layout: for commodity i, directed flows f[i, e, dir] at
+    # offset i * 2 * ne + 2*e + dir; z is the last variable.
+    nvars = k * 2 * ne + 1
+    z_col = nvars - 1
+
+    # Equality constraints: conservation at every node for every
+    # commodity (rows: k * n).
+    a_eq = lil_matrix((k * n, nvars))
+    b_eq = np.zeros(k * n)
+    for i, (s, t, w) in enumerate(pairs):
+        base = i * 2 * ne
+        for e, (u, v) in enumerate(edges):
+            # dir 0: u -> v, dir 1: v -> u
+            a_eq[i * n + u, base + 2 * e] -= 1  # leaves u
+            a_eq[i * n + v, base + 2 * e] += 1  # enters v
+            a_eq[i * n + v, base + 2 * e + 1] -= 1
+            a_eq[i * n + u, base + 2 * e + 1] += 1
+        b_eq[i * n + s] = -w  # net outflow w at source
+        b_eq[i * n + t] = w  # net inflow w at sink
+
+    # Inequalities: per undirected link, total flow <= z.
+    a_ub = lil_matrix((ne, nvars))
+    for e in range(ne):
+        for i in range(k):
+            base = i * 2 * ne
+            a_ub[e, base + 2 * e] = 1
+            a_ub[e, base + 2 * e + 1] = 1
+        a_ub[e, z_col] = -1
+    b_ub = np.zeros(ne)
+
+    c = np.zeros(nvars)
+    c[z_col] = 1.0
+    res = linprog(
+        c,
+        A_ub=a_ub.tocsr(),
+        b_ub=b_ub,
+        A_eq=a_eq.tocsr(),
+        b_eq=b_eq,
+        bounds=[(0, None)] * nvars,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"congestion LP failed: {res.message}")
+    return float(res.x[z_col])
+
+
+def lp_beta_upper(machine: Machine, max_pairs: int = 800) -> float:
+    """LP-certified upper bound on beta(H): E(K_n) / fractional C(H, K_n)."""
+    n = machine.num_nodes
+    c = lp_min_congestion(machine, max_pairs=max_pairs)
+    if c <= 0:
+        return float("inf")
+    return (n * (n - 1) / 2) / c

@@ -1,0 +1,10 @@
+"""Operational bandwidth -- re-export of the routing-simulator measurement.
+
+Kept as its own module so the three definitions of bandwidth (closed
+form, graph-theoretic, operational) all live behind the
+``repro.bandwidth`` namespace, mirroring the paper's Theorem 6.
+"""
+
+from repro.routing.measure import BandwidthMeasurement, measure_bandwidth
+
+__all__ = ["BandwidthMeasurement", "measure_bandwidth"]

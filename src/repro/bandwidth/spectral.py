@@ -1,0 +1,50 @@
+"""Spectral diagnostics: algebraic connectivity and Cheeger bounds.
+
+Used by the ablation bench to sanity-check the combinatorial cut bounds:
+the Cheeger inequality brackets the edge expansion ``h(G)`` by
+
+    lambda_2 / 2  <=  h(G)  <=  sqrt(2 * d_max * lambda_2)
+
+and a balanced cut of expansion ``h`` has ``~h * n / 2`` links, tying the
+spectrum to the flux bound on bandwidth.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse.linalg as spla
+from scipy.sparse import csgraph
+
+from repro.topologies.base import Machine
+from repro.util.quiet import quiet_numerics
+
+__all__ = ["algebraic_connectivity", "cheeger_bounds"]
+
+
+def algebraic_connectivity(machine: Machine) -> float:
+    """Second-smallest Laplacian eigenvalue (lambda_2)."""
+    n = machine.num_nodes
+    adj = nx.to_scipy_sparse_array(machine.graph, format="csr", dtype=float)
+    lap = csgraph.laplacian(adj)
+    if n <= 400:
+        vals = np.linalg.eigvalsh(lap.toarray())
+        return float(vals[1])
+    with quiet_numerics():
+        vals = spla.eigsh(
+            lap.tocsr().astype(float),
+            k=2,
+            sigma=-1e-3,
+            which="LM",
+            return_eigenvectors=False,
+            maxiter=5000,
+        )
+    return float(sorted(vals)[1])
+
+
+def cheeger_bounds(machine: Machine) -> tuple[float, float]:
+    """(lower, upper) bounds on the edge expansion h(G) via Cheeger."""
+    lam2 = max(0.0, algebraic_connectivity(machine))
+    lower = lam2 / 2.0
+    upper = float(np.sqrt(2.0 * machine.max_degree * lam2))
+    return lower, upper

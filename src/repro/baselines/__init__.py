@@ -1,0 +1,31 @@
+"""Prior-work lower bounds the paper compares against (Section 1.2).
+
+* :mod:`koch` -- the distance-based and congestion-based bounds of Koch,
+  Leighton, Maggs, Rao & Rosenberg [7];
+* :mod:`embedding_based` -- dilation lower bounds from graph-embedding
+  results ([2], [6]) that translate into slowdown bounds for
+  embedding-style emulations.
+
+The baseline bench sets these against the bandwidth bound on shared
+(guest, host) pairs: the bandwidth method matches the congestion method
+for non-expander guests and loses only on expander guests -- exactly the
+trade-off the paper describes.
+"""
+
+from repro.baselines.embedding_based import (
+    bhatt_butterfly_dilation_bound,
+    ternary_in_binary_dilation_bound,
+)
+from repro.baselines.koch import (
+    koch_butterfly_on_mesh_bound,
+    koch_mesh_on_mesh_bound,
+    koch_tree_on_mesh_bound,
+)
+
+__all__ = [
+    "bhatt_butterfly_dilation_bound",
+    "koch_butterfly_on_mesh_bound",
+    "koch_mesh_on_mesh_bound",
+    "koch_tree_on_mesh_bound",
+    "ternary_in_binary_dilation_bound",
+]

@@ -1,0 +1,48 @@
+"""Dilation lower bounds from graph-embedding results.
+
+Embedding-style (non-redundant) emulations suffer slowdown at least the
+dilation of the underlying embedding:
+
+* Hong-Mehlhorn-Rosenberg [6]: embedding a complete ternary tree into a
+  complete binary tree with expansion < 2 needs dilation
+  ``Omega(lg lg lg n)``;
+* Bhatt-Chung-Hong-Leighton-Rosenberg [2]: embedding a non-tree planar
+  graph into a butterfly needs dilation ``Omega(lg (Z(G)/O(G)))`` where
+  Z is the 1/3-2/3 separator size and O the largest interior face --
+  giving ``Omega(lg lg n)`` for X-trees and ``Omega(lg n)`` for meshes.
+
+The paper cites these to stress that *redundant* emulations evade them
+(a butterfly can emulate a same-size mesh efficiently despite the
+``Omega(lg n)`` dilation bound), so they are the right baseline to show
+where bandwidth bounds and embedding bounds genuinely differ.
+"""
+
+from __future__ import annotations
+
+from repro.asymptotics import LogPoly
+
+__all__ = [
+    "ternary_in_binary_dilation_bound",
+    "bhatt_butterfly_dilation_bound",
+]
+
+
+def ternary_in_binary_dilation_bound() -> LogPoly:
+    """Dilation Omega(lglglg n) for ternary-into-binary tree embedding."""
+    return LogPoly.log(level=3)
+
+
+def bhatt_butterfly_dilation_bound(guest: str) -> LogPoly:
+    """Dilation bound for embedding ``guest`` into a butterfly.
+
+    Supported guests: ``"xtree"`` -> Omega(lglg n); ``"mesh_2"`` (any
+    non-tree planar mesh) -> Omega(lg n).
+    """
+    if guest == "xtree":
+        return LogPoly.log(level=2)
+    if guest.startswith("mesh"):
+        return LogPoly.log(level=1)
+    raise ValueError(
+        f"no Bhatt et al. bound implemented for guest {guest!r} "
+        "(use 'xtree' or 'mesh_*')"
+    )

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``      -- print Tables 1-4 exactly as the benches derive them;
+* ``figure1``     -- print the Figure-1 series for a (guest, host, n);
+* ``bandwidth``   -- measure a machine's bandwidth three ways;
+* ``emulate``     -- run a guest-on-host emulation and report slowdown;
+* ``catalog``     -- print the full guest x host maximum-host-size matrix;
+* ``families``    -- list every registered machine family;
+* ``reproduce``   -- run every experiment and write JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bandwidth import beta_bracket, beta_value
+from repro.emulation import Emulator
+from repro.routing import measure_bandwidth
+from repro.theory import (
+    figure1_data,
+    full_catalog,
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_table4,
+)
+from repro.topologies import all_family_keys, family_spec
+from repro.util import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_families(_args) -> int:
+    rows = []
+    for key in all_family_keys():
+        spec = family_spec(key)
+        rows.append(
+            (key, spec.display, f"Theta({spec.beta})", f"Theta({spec.delta})",
+             "weak" if spec.weak else "")
+        )
+    print(format_table(["key", "name", "beta", "Delta", ""], rows))
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    for j, title in ((2, "Table 1 (guest = 2-dim mesh)"),):
+        print(
+            format_table(
+                ["host", "max host size"],
+                [(r.host_display, r.cell()) for r in generate_table1(j=j)],
+                title=title,
+            )
+        )
+        print()
+    print(
+        format_table(
+            ["host", "max host size"],
+            [(r.host_display, r.cell()) for r in generate_table2(j=2)],
+            title="Table 2 (guest = 2-dim mesh-of-trees)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["host", "max host size"],
+            [(r.host_display, r.cell()) for r in generate_table3("de_bruijn")],
+            title="Table 3 (guest = butterfly-class)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["machine", "beta", "Delta"],
+            generate_table4(),
+            title="Table 4",
+        )
+    )
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    f1 = figure1_data(args.guest, args.host, args.n)
+    print(
+        format_table(
+            ["|H|", "load bound", "bandwidth bound", "envelope"],
+            [
+                (m, f"{l:10.2f}", f"{b:10.2f}", f"{e:10.2f}")
+                for m, l, b, e in f1.rows()
+            ],
+            title=f"Figure 1: {args.guest} (n={args.n}) on {args.host} hosts",
+        )
+    )
+    print(
+        f"crossover: |H| = {f1.crossover_symbolic.render('n')} "
+        f"~ {f1.crossover_numeric:.0f}"
+    )
+    return 0
+
+
+def _cmd_bandwidth(args) -> int:
+    machine = family_spec(args.family).build_with_size(args.size)
+    br = beta_bracket(machine)
+    meas = measure_bandwidth(machine, seed=args.seed)
+    print(f"machine: {machine!r}")
+    print(f"closed form beta:  {beta_value(args.family, machine.num_nodes):.2f} "
+          f"(Theta({family_spec(args.family).beta}))")
+    print(f"certified bracket: [{br.lower:.2f}, {br.upper:.2f}]")
+    print(f"measured rate:     {meas.rate:.2f} packets/tick "
+          f"({meas.num_messages} msgs in {meas.total_time} ticks)")
+    return 0
+
+
+def _cmd_emulate(args) -> int:
+    guest = family_spec(args.guest).build_with_size(args.guest_size)
+    host = family_spec(args.host).build_with_size(args.host_size)
+    rep = Emulator(guest, host, seed=args.seed).run(args.steps)
+    print(rep)
+    print(f"inefficiency I = {rep.inefficiency:.2f} "
+          f"({'efficient' if rep.is_efficient else 'INEFFICIENT'})")
+    return 0
+
+
+def _cmd_catalog(args) -> int:
+    keys = args.families or [
+        "linear_array", "tree", "xtree", "mesh_2", "mesh_3",
+        "butterfly", "de_bruijn", "hypercube",
+    ]
+    entries = full_catalog(guests=keys, hosts=keys)
+    cells = {(e.guest_key, e.host_key): str(e.bound.expr) for e in entries}
+    rows = [[g] + [cells[(g, h)] for h in keys] for g in keys]
+    print(format_table(["guest \\ host"] + keys, rows))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.reporting import reproduce_all
+
+    summary = reproduce_all(args.out, quick=args.quick, only=args.only or None)
+    for key, info in summary["experiments"].items():
+        print(f"  {key:14s} {info['seconds']:7.2f}s  {info['description']}")
+    print(f"artifacts written to {args.out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list machine families").set_defaults(
+        fn=_cmd_families
+    )
+    sub.add_parser("tables", help="print Tables 1-4").set_defaults(fn=_cmd_tables)
+
+    f1 = sub.add_parser("figure1", help="print Figure-1 series")
+    f1.add_argument("--guest", default="de_bruijn")
+    f1.add_argument("--host", default="mesh_2")
+    f1.add_argument("--n", type=int, default=2**14)
+    f1.set_defaults(fn=_cmd_figure1)
+
+    bw = sub.add_parser("bandwidth", help="measure a machine's bandwidth")
+    bw.add_argument("family")
+    bw.add_argument("--size", type=int, default=256)
+    bw.add_argument("--seed", type=int, default=0)
+    bw.set_defaults(fn=_cmd_bandwidth)
+
+    em = sub.add_parser("emulate", help="emulate guest on host")
+    em.add_argument("guest")
+    em.add_argument("host")
+    em.add_argument("--guest-size", type=int, default=256)
+    em.add_argument("--host-size", type=int, default=64)
+    em.add_argument("--steps", type=int, default=4)
+    em.add_argument("--seed", type=int, default=0)
+    em.set_defaults(fn=_cmd_emulate)
+
+    cat = sub.add_parser("catalog", help="guest x host matrix")
+    cat.add_argument("families", nargs="*")
+    cat.set_defaults(fn=_cmd_catalog)
+
+    rep = sub.add_parser("reproduce", help="run all experiments, write JSON")
+    rep.add_argument("--out", default="results")
+    rep.add_argument("--quick", action="store_true")
+    rep.add_argument("--only", nargs="*", help="subset of experiment ids")
+    rep.set_defaults(fn=_cmd_reproduce)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

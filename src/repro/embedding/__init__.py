@@ -1,0 +1,36 @@
+"""Graph embeddings: vertex maps + routing paths, and their costs.
+
+The paper's graph-theoretic bandwidth is the congestion of an optimal
+1-to-1 embedding of a traffic multigraph into the host; slowdown lower
+bounds from prior work use dilation instead.  This subpackage provides
+
+* :class:`Embedding` -- vertex map + edge-to-path map with congestion,
+  dilation, average dilation, load and expansion,
+* embedders (identity, random, BFS-grow, spectral/recursive-bisection)
+  that produce 1-to-1 vertex maps, routing guest edges along host
+  shortest paths,
+* cut-based *lower* bounds on congestion, which combined with an
+  embedder's achieved congestion bracket the true ``C(H, G)``.
+"""
+
+from repro.embedding.embedding import Embedding
+from repro.embedding.embedders import (
+    bfs_embedding,
+    identity_embedding,
+    random_embedding,
+    spectral_embedding,
+)
+from repro.embedding.lower_bounds import (
+    congestion_lower_bound,
+    cut_congestion_bound,
+)
+
+__all__ = [
+    "Embedding",
+    "bfs_embedding",
+    "congestion_lower_bound",
+    "cut_congestion_bound",
+    "identity_embedding",
+    "random_embedding",
+    "spectral_embedding",
+]

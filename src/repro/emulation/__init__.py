@@ -1,0 +1,70 @@
+"""The redundant-circuit emulation model of Section 2.
+
+* :class:`Circuit` -- computations on guest ``G`` as levelled circuits of
+  3-tuples ``(u, t, c)`` (vertex, time step, copy number), with routing
+  and identity edges, validity and efficiency checks;
+* builders -- non-redundant and uniformly/decaying redundant circuits;
+* :func:`collapse_circuit` -- Lemma 11's super-vertex collapse, producing
+  the communication multigraph an emulation must route on the host;
+* :func:`build_gamma` -- the Lemma 9 construction (S-nodes, cones,
+  Q-sets) producing the quasi-symmetric traffic graph gamma embedded in
+  the circuit, with its achieved congestion, so the bandwidth-
+  preservation claim is checkable on concrete machines;
+* :class:`Emulator` -- an executable emulation: map guest processors onto
+  the host, route every guest step's messages on the host simulator, and
+  report the measured slowdown against the paper's lower bound;
+* :class:`GhostZoneEmulator` -- the redundant model's upper-bound side:
+  a bit-exact time-skewed emulation of 1-d cellular guests that trades
+  redundant recomputation for communication, achieving the efficient
+  S = O(n/m) regime the bounds permit.
+"""
+
+from repro.emulation.builders import (
+    build_decaying_redundant_circuit,
+    build_nonredundant_circuit,
+    build_redundant_circuit,
+)
+from repro.emulation.circuit import Circuit, CircuitNode
+from repro.emulation.collapse import (
+    balanced_assignment,
+    collapse_circuit,
+    random_assignment,
+)
+from repro.emulation.emulator import EmulationReport, Emulator
+from repro.emulation.gamma import GammaConstruction, build_gamma
+from repro.emulation.redundant import (
+    CellularGuest,
+    GhostZoneEmulator,
+    GhostZoneReport,
+    oneshot_recompute,
+)
+from repro.emulation.scheduler import CircuitSchedule, schedule_circuit
+from repro.emulation.redundant2d import (
+    CellularGuest2D,
+    GhostZone2DReport,
+    GhostZoneEmulator2D,
+)
+
+__all__ = [
+    "CellularGuest",
+    "CellularGuest2D",
+    "CircuitSchedule",
+    "Circuit",
+    "CircuitNode",
+    "EmulationReport",
+    "Emulator",
+    "GammaConstruction",
+    "GhostZoneEmulator",
+    "GhostZoneReport",
+    "GhostZone2DReport",
+    "GhostZoneEmulator2D",
+    "balanced_assignment",
+    "build_decaying_redundant_circuit",
+    "build_gamma",
+    "build_nonredundant_circuit",
+    "build_redundant_circuit",
+    "collapse_circuit",
+    "random_assignment",
+    "oneshot_recompute",
+    "schedule_circuit",
+]

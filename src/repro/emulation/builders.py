@@ -1,0 +1,89 @@
+"""Circuit builders: the standard emulation circuit shapes.
+
+* :func:`build_nonredundant_circuit` -- duplicity 1 everywhere: the plain
+  computation, and the homogeneous circuit Lemma 9 operates on;
+* :func:`build_redundant_circuit` -- uniform duplicity ``r`` (each guest
+  operation performed at ``r`` places; still efficient for constant r);
+* :func:`build_decaying_redundant_circuit` -- duplicity halving with
+  depth, the shape of redundant strategies that compute speculatively
+  early and consolidate later.
+
+All builders produce *valid* circuits: node ``(v, i+1, y)`` takes inputs
+from representative ``(u, i, y mod dup(u, i))`` of every guest neighbour
+``u`` and from its own class (identity arc).
+"""
+
+from __future__ import annotations
+
+from repro.emulation.circuit import Circuit, CircuitNode
+from repro.topologies.base import Machine
+from repro.util import check_positive_int
+
+__all__ = [
+    "build_nonredundant_circuit",
+    "build_redundant_circuit",
+    "build_decaying_redundant_circuit",
+]
+
+
+def _wire(circuit: Circuit) -> None:
+    """Add the canonical valid arc set for the declared duplicities."""
+    g = circuit.guest.graph
+    for i in range(1, circuit.depth + 1):
+        prev = circuit.duplicity[i - 1]
+        for head in circuit.level_nodes(i):
+            v, _, y = head
+            # Identity input from own class.
+            own_dup = prev.get(v, 0)
+            if own_dup == 0:
+                raise ValueError(
+                    f"vertex {v} missing at level {i - 1}: cannot carry state"
+                )
+            circuit.add_arc(CircuitNode(v, i - 1, y % own_dup), head)
+            # One input per guest neighbour.
+            for u in g.neighbors(v):
+                dup = prev.get(u, 0)
+                if dup == 0:
+                    raise ValueError(
+                        f"vertex {u} missing at level {i - 1}: circuit invalid"
+                    )
+                circuit.add_arc(CircuitNode(u, i - 1, y % dup), head)
+
+
+def build_nonredundant_circuit(guest: Machine, depth: int) -> Circuit:
+    """Duplicity-1 circuit: exactly the guest computation, levelled."""
+    c = Circuit(guest, depth)
+    for i in range(depth + 1):
+        for u in guest.nodes():
+            c.add_class(u, i, 1)
+    _wire(c)
+    return c
+
+
+def build_redundant_circuit(guest: Machine, depth: int, duplicity: int) -> Circuit:
+    """Uniform-duplicity circuit (homogeneous, efficient for O(1) duplicity)."""
+    check_positive_int(duplicity, "duplicity")
+    c = Circuit(guest, depth)
+    for i in range(depth + 1):
+        for u in guest.nodes():
+            c.add_class(u, i, duplicity)
+    _wire(c)
+    return c
+
+
+def build_decaying_redundant_circuit(
+    guest: Machine, depth: int, initial_duplicity: int
+) -> Circuit:
+    """Duplicity ``max(1, initial >> i)`` at level ``i`` (halving).
+
+    Total nodes <= 2 * initial * |G| + |G| * depth, so the circuit stays
+    efficient even for non-constant initial duplicity up to O(depth).
+    """
+    check_positive_int(initial_duplicity, "initial_duplicity")
+    c = Circuit(guest, depth)
+    for i in range(depth + 1):
+        dup = max(1, initial_duplicity >> i)
+        for u in guest.nodes():
+            c.add_class(u, i, dup)
+    _wire(c)
+    return c

@@ -1,0 +1,156 @@
+"""Levelled redundant circuits (the paper's computation model).
+
+A *circuit* represents ``t`` steps of a guest computation.  Circuit nodes
+are 3-tuples ``(u, i, c)``: guest vertex, time step (level), copy number.
+The set of nodes with the same ``(u, i)`` is a *class*; its size is the
+class *duplicity* (redundancy lets one guest operation be performed at
+several places).  Arcs run only between adjacent levels:
+
+* **routing arcs** join representatives of *different* guest vertices
+  ``(u, i, x) -> (v, i+1, y)`` and require ``(u, v)`` to be a guest link;
+* **identity arcs** join representatives of the *same* vertex.
+
+A circuit is *valid* when every node at level ``i + 1`` receives an input
+arc from some representative of each guest neighbour of its vertex (and
+one identity input carrying its own state), and *efficient* when it
+contains at most a constant factor more nodes than the ``|G| * (t+1)``
+of the plain computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int
+
+__all__ = ["CircuitNode", "Circuit"]
+
+
+class CircuitNode(NamedTuple):
+    """A circuit node ``(vertex, level, copy)``."""
+
+    vertex: int
+    level: int
+    copy: int
+
+
+class Circuit:
+    """A levelled circuit over a guest machine."""
+
+    def __init__(self, guest: Machine, depth: int):
+        check_positive_int(depth, "depth")
+        self.guest = guest
+        self.depth = depth
+        # duplicity[i][u] = number of copies of vertex u at level i.
+        self.duplicity: list[dict[int, int]] = [{} for _ in range(depth + 1)]
+        # arcs keyed by head node -> sorted list of tail nodes (inputs).
+        self._inputs: dict[CircuitNode, list[CircuitNode]] = {}
+        self._num_arcs = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def add_class(self, vertex: int, level: int, duplicity: int) -> None:
+        """Declare that vertex has ``duplicity`` copies at ``level``."""
+        if not 0 <= level <= self.depth:
+            raise ValueError(f"level {level} outside [0, {self.depth}]")
+        if vertex not in self.guest.graph:
+            raise ValueError(f"vertex {vertex} not in guest")
+        check_positive_int(duplicity, "duplicity")
+        if vertex in self.duplicity[level]:
+            raise ValueError(f"class ({vertex}, {level}) already declared")
+        self.duplicity[level][vertex] = duplicity
+
+    def add_arc(self, tail: CircuitNode, head: CircuitNode) -> None:
+        """Add an input arc ``tail -> head`` (must span adjacent levels)."""
+        tail, head = CircuitNode(*tail), CircuitNode(*head)
+        if head.level != tail.level + 1:
+            raise ValueError(f"arc {tail} -> {head} must advance one level")
+        for node in (tail, head):
+            if node.copy >= self.duplicity[node.level].get(node.vertex, 0):
+                raise ValueError(f"node {node} not declared")
+        if tail.vertex != head.vertex and not self.guest.graph.has_edge(
+            tail.vertex, head.vertex
+        ):
+            raise ValueError(
+                f"routing arc {tail} -> {head} has no guest link "
+                f"({tail.vertex}, {head.vertex})"
+            )
+        self._inputs.setdefault(head, []).append(tail)
+        self._num_arcs += 1
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total circuit nodes over all levels."""
+        return sum(sum(level.values()) for level in self.duplicity)
+
+    @property
+    def num_arcs(self) -> int:
+        """Total arcs."""
+        return self._num_arcs
+
+    def nodes(self) -> Iterator[CircuitNode]:
+        """Iterate every declared circuit node."""
+        for i, level in enumerate(self.duplicity):
+            for u, dup in level.items():
+                for c in range(dup):
+                    yield CircuitNode(u, i, c)
+
+    def level_nodes(self, level: int) -> Iterator[CircuitNode]:
+        """Iterate the nodes of one level."""
+        for u, dup in self.duplicity[level].items():
+            for c in range(dup):
+                yield CircuitNode(u, level, c)
+
+    def inputs(self, node: CircuitNode) -> list[CircuitNode]:
+        """Input arcs of ``node`` (tails)."""
+        return list(self._inputs.get(CircuitNode(*node), []))
+
+    def class_duplicity(self, vertex: int, level: int) -> int:
+        """Duplicity of class ``(vertex, level)`` (0 if absent)."""
+        return self.duplicity[level].get(vertex, 0)
+
+    def is_homogeneous(self) -> bool:
+        """True when all classes at every level share one duplicity."""
+        values = {
+            d for level in self.duplicity for d in level.values()
+        }
+        return len(values) <= 1
+
+    # -- the paper's two predicates -------------------------------------------------
+
+    def is_valid(self, require_identity: bool = True) -> bool:
+        """Every level->level+1 node has inputs from all guest neighbours.
+
+        ``require_identity`` additionally demands an identity input (a
+        representative of the node's own vertex one level earlier), which
+        the paper's constructions always have.
+        """
+        g = self.guest.graph
+        for i in range(1, self.depth + 1):
+            prev = self.duplicity[i - 1]
+            for node in self.level_nodes(i):
+                tails = self._inputs.get(node, [])
+                got_vertices = {t.vertex for t in tails}
+                for nbr in g.neighbors(node.vertex):
+                    if nbr not in prev or nbr not in got_vertices:
+                        return False
+                if require_identity and node.vertex not in got_vertices:
+                    return False
+        return True
+
+    def is_efficient(self, constant: float = 8.0) -> bool:
+        """At most ``constant * |G| * (depth + 1)`` nodes (O(|G| t) work)."""
+        return self.num_nodes <= constant * self.guest.num_nodes * (self.depth + 1)
+
+    def work_ratio(self) -> float:
+        """Circuit nodes per plain-computation node (the inefficiency)."""
+        return self.num_nodes / (self.guest.num_nodes * (self.depth + 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(guest={self.guest.name}, depth={self.depth}, "
+            f"nodes={self.num_nodes}, arcs={self.num_arcs})"
+        )

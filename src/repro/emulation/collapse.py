@@ -1,0 +1,77 @@
+"""Lemma 11: collapsing a circuit onto fewer processors.
+
+Emulating a circuit on a host with ``m < |G|`` processors is modelled as
+a two-stage process: first the circuit nodes are gathered into ``m``
+*super-vertices* (with bounded load), turning circuit arcs between
+different super-vertices into edges of a communication multigraph ``M``;
+then ``M`` is executed 1-to-1 on the host.  Lemma 11 shows bandwidth is
+preserved by this collapse; :func:`collapse_circuit` makes the collapse
+concrete so that preservation can be measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulation.circuit import Circuit, CircuitNode
+from repro.traffic.multigraph import TrafficMultigraph
+from repro.util import check_positive_int, rng_from_seed
+
+__all__ = ["balanced_assignment", "random_assignment", "collapse_circuit"]
+
+
+def balanced_assignment(
+    circuit: Circuit, num_supervertices: int
+) -> dict[CircuitNode, int]:
+    """Assign circuit nodes to super-vertices by guest vertex blocks.
+
+    All representatives of a guest vertex (every level, every copy) land
+    on the same super-vertex, and guest vertices are dealt out in
+    contiguous blocks -- the natural load-balanced emulation layout with
+    load ``O(|circuit| / m)``.
+    """
+    check_positive_int(num_supervertices, "num_supervertices")
+    n = circuit.guest.num_nodes
+    per = -(-n // num_supervertices)  # ceil
+    return {
+        node: min(node.vertex // per, num_supervertices - 1)
+        for node in circuit.nodes()
+    }
+
+
+def random_assignment(
+    circuit: Circuit,
+    num_supervertices: int,
+    seed: int | np.random.Generator | None = None,
+) -> dict[CircuitNode, int]:
+    """Assign each guest vertex to a uniformly random super-vertex."""
+    check_positive_int(num_supervertices, "num_supervertices")
+    rng = rng_from_seed(seed)
+    n = circuit.guest.num_nodes
+    owners = rng.integers(0, num_supervertices, size=n)
+    return {node: int(owners[node.vertex]) for node in circuit.nodes()}
+
+
+def collapse_circuit(
+    circuit: Circuit, assignment: dict[CircuitNode, int]
+) -> tuple[TrafficMultigraph, int]:
+    """Collapse ``circuit`` under ``assignment``.
+
+    Returns ``(M, max_load)``: the induced communication multigraph on
+    the super-vertices (arcs within a super-vertex become self-loops and
+    are dropped, as in the paper) and the largest number of circuit nodes
+    gathered into one super-vertex.
+    """
+    if not assignment:
+        raise ValueError("empty assignment")
+    m = max(assignment.values()) + 1
+    loads = np.zeros(m, dtype=np.int64)
+    tm = TrafficMultigraph(m)
+    for node in circuit.nodes():
+        owner = assignment[node]
+        loads[owner] += 1
+        for tail in circuit.inputs(node):
+            src = assignment[tail]
+            if src != owner:
+                tm.add_edges(src, owner, 1)
+    return tm, int(loads.max())

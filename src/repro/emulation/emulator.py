@@ -1,0 +1,155 @@
+"""An executable emulation: run guest steps on a smaller host.
+
+The host mimics the most general guest computation: at every guest step,
+every guest link carries a message in both directions (the paper's
+redundant model must support arbitrary communication, so the worst-case
+pattern *is* the guest graph).  The emulator
+
+1. maps guest processors onto host processors with balanced load
+   (ceil(n/m) guests each) using a locality-preserving linearisation,
+2. converts one guest step's messages into host messages (dropping
+   intra-processor ones),
+3. routes them on the synchronous simulator,
+4. charges ``compute = load`` plus the routing time per guest step.
+
+The measured slowdown is then compared against the paper's two lower
+bounds: the load bound ``n/m`` and the bandwidth bound
+``beta_G / beta_H`` (Figure 1's two curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bandwidth.graph_theoretic import beta_bracket
+from repro.embedding.embedders import _bfs_order
+from repro.routing.simulator import RoutingSimulator
+from repro.topologies.base import Machine
+from repro.util import check_positive_int, rng_from_seed
+
+__all__ = ["EmulationReport", "Emulator"]
+
+
+@dataclass(frozen=True)
+class EmulationReport:
+    """Outcome of emulating ``steps`` guest steps on the host."""
+
+    guest_name: str
+    host_name: str
+    guest_size: int
+    host_size: int
+    steps: int
+    host_time: int
+    load: int
+    messages_per_step: int
+    load_bound: float
+    bandwidth_bound: float
+
+    @property
+    def slowdown(self) -> float:
+        """Measured slowdown S = T_H / T_G."""
+        return self.host_time / self.steps
+
+    @property
+    def best_lower_bound(self) -> float:
+        """max(load bound, bandwidth bound) -- the paper's Figure-1 envelope."""
+        return max(self.load_bound, self.bandwidth_bound)
+
+    @property
+    def inefficiency(self) -> float:
+        """The paper's I = W_H / W_G = S * m / n; efficient means O(1)."""
+        return self.slowdown * self.host_size / self.guest_size
+
+    @property
+    def is_efficient(self) -> bool:
+        """Inefficiency within a generous constant (I <= 8)."""
+        return self.inefficiency <= 8.0
+
+    def __str__(self) -> str:
+        return (
+            f"emulate {self.guest_name} ({self.guest_size}p) on "
+            f"{self.host_name} ({self.host_size}p): S = {self.slowdown:.2f} "
+            f"(>= load {self.load_bound:.2f}, bandwidth "
+            f"{self.bandwidth_bound:.2f})"
+        )
+
+
+class Emulator:
+    """Runs general-computation emulations of a guest on a host."""
+
+    def __init__(self, guest: Machine, host: Machine, seed: int | None = None):
+        if host.num_nodes > guest.num_nodes:
+            raise ValueError(
+                "host larger than guest: emulation slowdown is only "
+                "meaningful for |H| <= |G|"
+            )
+        self.guest = guest
+        self.host = host
+        self._rng = rng_from_seed(seed)
+        self.assignment = self._balanced_locality_map()
+
+    def _balanced_locality_map(self) -> np.ndarray:
+        """guest vertex -> host processor, BFS-linearised on both sides."""
+        n, m = self.guest.num_nodes, self.host.num_nodes
+        guest_order = _bfs_order(self.guest.graph, 0)
+        host_order = _bfs_order(self.host.graph, 0)
+        per = -(-n // m)  # ceil
+        owner = np.empty(n, dtype=np.int64)
+        for rank, g in enumerate(guest_order):
+            owner[g] = host_order[min(rank // per, m - 1)]
+        return owner
+
+    @property
+    def load(self) -> int:
+        """Max guest processors emulated by one host processor."""
+        return int(np.bincount(self.assignment, minlength=self.host.num_nodes).max())
+
+    def step_messages(self) -> list[tuple[int, int]]:
+        """Host messages for one worst-case guest step (both directions
+        of every guest link that crosses host processors)."""
+        msgs = []
+        for u, v in self.guest.edges():
+            hu, hv = int(self.assignment[u]), int(self.assignment[v])
+            if hu != hv:
+                msgs.append((hu, hv))
+                msgs.append((hv, hu))
+        return msgs
+
+    def run(self, steps: int, policy: str = "farthest") -> EmulationReport:
+        """Emulate ``steps`` guest steps; returns the measured report.
+
+        Every guest step routes the same worst-case message multiset, so
+        one routing determines the per-step time exactly.
+        """
+        check_positive_int(steps, "steps")
+        msgs = self.step_messages()
+        sim = RoutingSimulator(self.host, policy=policy)
+        if msgs:
+            result = sim.route([[s, d] for s, d in msgs])
+            route_time = result.total_time
+        else:
+            route_time = 0
+        load = self.load
+        per_step = load + route_time
+        host_time = per_step * steps
+
+        n, m = self.guest.num_nodes, self.host.num_nodes
+        bg = beta_bracket(self.guest)
+        bh = beta_bracket(self.host)
+        # Conservative numeric bound: guest's certified lower beta over
+        # host's certified upper beta.
+        bw_bound = bg.lower / bh.upper if bh.upper > 0 else float("inf")
+        return EmulationReport(
+            guest_name=self.guest.name,
+            host_name=self.host.name,
+            guest_size=n,
+            host_size=m,
+            steps=steps,
+            host_time=host_time,
+            load=load,
+            messages_per_step=len(msgs),
+            load_bound=n / m,
+            bandwidth_bound=bw_bound,
+        )

@@ -1,0 +1,334 @@
+"""Ghost-zone (time-skewed) redundant emulation: the upper-bound side.
+
+The paper's lower bounds live in the *redundant* model precisely because
+redundant recomputation is a real technique: a host processor that holds
+its block of guest cells *plus a halo of width w* can advance the block
+``w`` guest steps between communications, recomputing halo cells
+redundantly instead of fetching them every step.  This module implements
+that strategy for 1-d cellular guests (linear array / ring) and verifies
+it bit-for-bit against direct execution:
+
+* :class:`CellularGuest` -- an arbitrary radius-1 cellular automaton on a
+  path or ring (the most general 1-d nearest-neighbour computation);
+* :class:`GhostZoneEmulator` -- executes the guest on ``m`` blocks with
+  halo width ``w``, exchanging halos once per ``w`` steps, with the cost
+  model
+
+      T_H per guest step  ~  b + w + alpha / w + 1
+
+  (b = n/m block size, alpha = per-message latency/overhead), so the
+  optimal halo is ``w* ~ sqrt(alpha)`` and the emulation is *efficient*
+  (S = O(n/m), inefficiency O(1)) whenever ``w* <= b`` -- matching the
+  Table-1 diagonal where the bandwidth bound permits hosts up to
+  Theta(n).
+
+The correctness check (emulated state == direct state, property-tested)
+is what makes this an emulation rather than a cost formula; the
+redundancy is visible in the work counters (each superstep recomputes up
+to ``w^2`` halo cells per block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util import check_positive_int
+
+__all__ = [
+    "CellularGuest",
+    "GhostZoneEmulator",
+    "GhostZoneReport",
+    "oneshot_recompute",
+]
+
+#: A radius-1 CA rule: (left, centre, right) arrays -> new centre array.
+Rule = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+def _default_rule(left: np.ndarray, centre: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """A mixing affine rule mod 251 (prime, so no accidental collapses)."""
+    return (3 * left + 5 * centre + 7 * right + 11) % 251
+
+
+class CellularGuest:
+    """A radius-1 cellular automaton on ``n`` cells (path or ring).
+
+    This is the most general 1-d nearest-neighbour guest computation: at
+    each step every cell reads both neighbours, exactly the communication
+    pattern the paper's emulation model must support.  Path boundaries
+    use clamped (replicated-edge) neighbours.
+    """
+
+    def __init__(self, n: int, ring: bool = False, rule: Rule | None = None):
+        check_positive_int(n, "n", minimum=3)
+        self.n = n
+        self.ring = ring
+        self.rule: Rule = rule or _default_rule
+
+    def initial_state(self, seed: int = 0) -> np.ndarray:
+        """A reproducible random initial state (values in [0, 251))."""
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 251, size=self.n, dtype=np.int64)
+
+    def step(self, state: np.ndarray) -> np.ndarray:
+        """One synchronous guest step on the full state."""
+        if self.ring:
+            left = np.roll(state, 1)
+            right = np.roll(state, -1)
+        else:
+            left = np.concatenate(([state[0]], state[:-1]))
+            right = np.concatenate((state[1:], [state[-1]]))
+        return self.rule(left, state, right)
+
+    def run(self, state: np.ndarray, steps: int) -> np.ndarray:
+        """``steps`` direct guest steps (the reference execution)."""
+        for _ in range(steps):
+            state = self.step(state)
+        return state
+
+
+@dataclass(frozen=True)
+class GhostZoneReport:
+    """Cost accounting for one ghost-zone emulation run."""
+
+    guest_size: int
+    num_blocks: int
+    halo_width: int
+    steps: int
+    alpha: int
+    compute_ticks: int
+    comm_ticks: int
+    total_updates: int
+
+    @property
+    def host_time(self) -> int:
+        """Total host ticks (compute + communication)."""
+        return self.compute_ticks + self.comm_ticks
+
+    @property
+    def slowdown(self) -> float:
+        """Measured slowdown T_H / T_G."""
+        return self.host_time / self.steps
+
+    @property
+    def essential_work(self) -> int:
+        """Cell updates the guest itself would perform: n per step."""
+        return self.guest_size * self.steps
+
+    @property
+    def redundant_work(self) -> int:
+        """Extra (halo) updates performed beyond the guest's own work."""
+        return self.total_updates - self.essential_work
+
+    @property
+    def inefficiency(self) -> float:
+        """Work performed / work required (the paper's I; efficient = O(1))."""
+        return self.total_updates / self.essential_work
+
+    @property
+    def load_bound(self) -> float:
+        """The size-induced slowdown floor n/m."""
+        return self.guest_size / self.num_blocks
+
+    def __str__(self) -> str:
+        return (
+            f"ghost-zone emulate n={self.guest_size} on m={self.num_blocks} "
+            f"(w={self.halo_width}, alpha={self.alpha}): S={self.slowdown:.2f} "
+            f"(load {self.load_bound:.2f}), I={self.inefficiency:.3f}"
+        )
+
+
+class _Block:
+    """One host processor's extended block: values over [start, stop)."""
+
+    __slots__ = ("start", "stop", "values")
+
+    def __init__(self, start: int, stop: int, values: np.ndarray):
+        self.start = start
+        self.stop = stop
+        self.values = values
+
+
+class GhostZoneEmulator:
+    """Executes a :class:`CellularGuest` on ``m`` blocks with halos.
+
+    Cost model (per superstep of ``w`` guest steps; processors run in
+    parallel, so the superstep time is the max over blocks):
+
+    * communication: one halo exchange per neighbour, ``alpha + w``
+      ticks (latency plus ``w`` unit packets; the two neighbour
+      exchanges use distinct links and overlap);
+    * compute: one cell update per tick, so a superstep costs the number
+      of updates of the busiest block: ``sum_i (b + 2(w - i))`` in the
+      interior -- ``w*b + w(w-1)`` ticks, i.e. ``b + w - 1`` per guest
+      step.
+    """
+
+    def __init__(
+        self,
+        guest: CellularGuest,
+        num_blocks: int,
+        halo_width: int = 1,
+        alpha: int = 0,
+    ):
+        check_positive_int(num_blocks, "num_blocks")
+        check_positive_int(halo_width, "halo_width")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        if guest.n % num_blocks != 0:
+            raise ValueError(
+                f"guest size {guest.n} must divide into {num_blocks} blocks"
+            )
+        b = guest.n // num_blocks
+        if halo_width > b:
+            raise ValueError(f"halo width {halo_width} exceeds block size {b}")
+        self.guest = guest
+        self.m = num_blocks
+        self.b = b
+        self.w = halo_width
+        self.alpha = alpha
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _extended_block(self, state: np.ndarray, blk: int) -> _Block:
+        """Block ``blk`` plus its w-halo (clamped at path boundaries)."""
+        n, w, b = self.guest.n, self.w, self.b
+        lo, hi = blk * b, (blk + 1) * b
+        if self.guest.ring:
+            idx = np.arange(lo - w, hi + w) % n
+            return _Block(lo - w, hi + w, state[idx].copy())
+        start, stop = max(0, lo - w), min(n, hi + w)
+        return _Block(start, stop, state[start:stop].copy())
+
+    def _step_block(self, block: _Block) -> tuple[_Block, int]:
+        """One guest step on an extended block; returns (block, updates).
+
+        Interior boundaries lose one cell; true path boundaries (start=0
+        or stop=n on a path guest) are clamped and lose nothing.
+        """
+        n = self.guest.n
+        vals = block.values
+        clamp_left = (not self.guest.ring) and block.start == 0
+        clamp_right = (not self.guest.ring) and block.stop == n
+        # Surviving cells in local coordinates [a, c): one cell is lost
+        # at each non-clamped end.
+        a = 0 if clamp_left else 1
+        c = len(vals) if clamp_right else len(vals) - 1
+        centre = vals[a:c]
+        if clamp_left:
+            lvals = np.concatenate(([vals[0]], vals[: c - 1]))
+        else:
+            lvals = vals[a - 1 : c - 1]
+        if clamp_right:
+            rvals = np.concatenate((vals[a + 1 :], [vals[-1]]))
+        else:
+            rvals = vals[a + 1 : c + 1]
+        new_vals = self.guest.rule(lvals, centre, rvals)
+        new_start = block.start if clamp_left else block.start + 1
+        new_stop = block.stop if clamp_right else block.stop - 1
+        return _Block(new_start, new_stop, new_vals), len(new_vals)
+
+    # -- main entry -----------------------------------------------------------------
+
+    def run(
+        self, state: np.ndarray, steps: int
+    ) -> tuple[np.ndarray, GhostZoneReport]:
+        """Emulate ``steps`` guest steps; returns (final state, report).
+
+        ``steps`` must be a whole number of supersteps (multiple of the
+        halo width).
+        """
+        check_positive_int(steps, "steps")
+        if steps % self.w != 0:
+            raise ValueError(
+                f"steps ({steps}) must be a multiple of halo width ({self.w})"
+            )
+        if len(state) != self.guest.n:
+            raise ValueError(
+                f"state has {len(state)} cells, guest expects {self.guest.n}"
+            )
+        state = np.asarray(state, dtype=np.int64).copy()
+        w, b, m, n = self.w, self.b, self.m, self.guest.n
+        compute_ticks = 0
+        comm_ticks = 0
+        total_updates = 0
+
+        for _ in range(steps // w):
+            comm_ticks += self.alpha + w
+            busiest = 0
+            final = np.empty(n, dtype=np.int64)
+            for blk in range(m):
+                block = self._extended_block(state, blk)
+                block_updates = 0
+                for _i in range(w):
+                    block, updated = self._step_block(block)
+                    block_updates += updated
+                total_updates += block_updates
+                busiest = max(busiest, block_updates)
+                lo, hi = blk * b, (blk + 1) * b
+                # The surviving window always covers the block proper.
+                off = lo - block.start
+                assert off >= 0 and block.stop >= hi, (block.start, block.stop)
+                final[lo:hi] = block.values[off : off + b]
+            compute_ticks += busiest
+            state = final
+
+        report = GhostZoneReport(
+            guest_size=n,
+            num_blocks=m,
+            halo_width=w,
+            steps=steps,
+            alpha=self.alpha,
+            compute_ticks=compute_ticks,
+            comm_ticks=comm_ticks,
+            total_updates=total_updates,
+        )
+        return state, report
+
+
+def oneshot_recompute(
+    guest: CellularGuest, num_blocks: int, state: np.ndarray, steps: int
+) -> tuple[np.ndarray, GhostZoneReport]:
+    """Emulate ``steps`` guest steps with ZERO communication.
+
+    This is the strategy Theorem 1 must exclude with its guest-time
+    precondition ``T_G >= Omega(lambda(G))``: for a *short* computation,
+    each host processor simply recomputes the ``steps``-radius
+    neighbourhood of its block locally -- a ghost zone of width
+    ``steps`` filled once from the initial state (data the host already
+    holds) and never refreshed.  No messages ever cross the host
+    network, so no bandwidth argument can lower-bound the time; the
+    slowdown is the load bound plus O(steps), efficient whenever
+    ``steps <= O(n/m)``.
+
+    Returns the final state (bit-exact against direct execution) and a
+    report whose ``comm_ticks`` is 0.  Requires ``steps <= block size``
+    (the halo must fit inside the neighbours' blocks).
+    """
+    check_positive_int(steps, "steps")
+    if guest.n % num_blocks != 0:
+        raise ValueError(
+            f"guest size {guest.n} must divide into {num_blocks} blocks"
+        )
+    if steps > guest.n // num_blocks:
+        raise ValueError(
+            f"one-shot recomputation needs steps <= block size "
+            f"({guest.n // num_blocks}), got {steps}"
+        )
+    em = GhostZoneEmulator(guest, num_blocks, halo_width=steps, alpha=0)
+    final, rep = em.run(state, steps)
+    # Strip the single halo exchange the emulator charged: a one-shot
+    # run reads the initial state locally instead of receiving it.
+    return final, GhostZoneReport(
+        guest_size=rep.guest_size,
+        num_blocks=rep.num_blocks,
+        halo_width=rep.halo_width,
+        steps=rep.steps,
+        alpha=0,
+        compute_ticks=rep.compute_ticks,
+        comm_ticks=0,
+        total_updates=rep.total_updates,
+    )

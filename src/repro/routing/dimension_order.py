@@ -1,0 +1,97 @@
+"""Dimension-order (e-cube) routing for coordinate-labelled machines.
+
+The classic oblivious scheme on meshes, tori and hypercubes: correct the
+coordinates one dimension at a time.  It is deterministic, deadlock-free
+on meshes, and the standard point of comparison for the shortest-path
+and Valiant strategies in the routing ablation.
+
+Works on any machine whose original labels are equal-length tuples of
+ints with unit-step (mesh/torus) or bit-flip (hypercube) adjacency; the
+constructor detects which moves exist and raises for unsupported
+machines (trees, de Bruijn, ...).
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Machine
+
+__all__ = ["DimensionOrderRouter", "dimension_order_route"]
+
+
+class DimensionOrderRouter:
+    """Precomputed coordinate tables + e-cube path construction."""
+
+    def __init__(self, machine: Machine):
+        labels = machine.labels
+        coords = {}
+        for node, lab in labels.items():
+            if isinstance(lab, int) and not isinstance(lab, bool):
+                lab = (lab,)  # 1-d generators label with bare ints
+            if not (isinstance(lab, tuple) and all(isinstance(x, int) for x in lab)):
+                raise ValueError(
+                    f"{machine.name}: dimension-order routing needs integer "
+                    f"coordinate labels, got {lab!r}"
+                )
+            coords[node] = lab
+        dims = {len(c) for c in coords.values()}
+        if len(dims) != 1:
+            raise ValueError(f"{machine.name}: mixed label arities {dims}")
+        self.machine = machine
+        self.k = dims.pop()
+        self.coord_of = coords
+        self.node_of = {c: v for v, c in coords.items()}
+        if len(self.node_of) != len(self.coord_of):
+            raise ValueError(f"{machine.name}: duplicate coordinate labels")
+        self.sides = [
+            max(c[d] for c in coords.values()) + 1 for d in range(self.k)
+        ]
+        # Detect wraparound per dimension (torus/hypercube vs mesh).
+        self.wraps = []
+        g = machine.graph
+        for d in range(self.k):
+            if self.sides[d] <= 2:
+                self.wraps.append(False)
+                continue
+            origin = tuple(0 for _ in range(self.k))
+            wrapped = tuple(
+                (self.sides[d] - 1) if i == d else 0 for i in range(self.k)
+            )
+            self.wraps.append(
+                origin in self.node_of
+                and wrapped in self.node_of
+                and g.has_edge(self.node_of[origin], self.node_of[wrapped])
+            )
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """The e-cube path: fix dimension 0, then 1, ... (node list)."""
+        cur = list(self.coord_of[src])
+        goal = self.coord_of[dst]
+        out = [src]
+        g = self.machine.graph
+        for d in range(self.k):
+            while cur[d] != goal[d]:
+                side = self.sides[d]
+                delta = goal[d] - cur[d]
+                if self.wraps[d]:
+                    # Step in the shorter wraparound direction.
+                    fwd = delta % side
+                    step = 1 if fwd <= side - fwd else -1
+                else:
+                    step = 1 if delta > 0 else -1
+                cur[d] = (cur[d] + step) % side
+                nxt = self.node_of[tuple(cur)]
+                if not g.has_edge(out[-1], nxt):
+                    raise ValueError(
+                        f"{self.machine.name}: no link for e-cube step "
+                        f"{self.coord_of[out[-1]]} -> {tuple(cur)}"
+                    )
+                out.append(nxt)
+        return out
+
+
+def dimension_order_route(
+    machine: Machine, messages: list[tuple[int, int]]
+) -> list[list[int]]:
+    """Full e-cube itineraries (every hop explicit) for the simulator."""
+    router = DimensionOrderRouter(machine)
+    return [router.path(s, d) for s, d in messages]

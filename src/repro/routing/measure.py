@@ -1,0 +1,96 @@
+"""Operational bandwidth measurement (the paper's functional definition).
+
+``beta(M, pi)`` is the expected average delivery rate ``m / T(m)`` in the
+limit of a large batch ``m`` of messages drawn from ``pi`` (Theorem 6
+shows it equals the graph-theoretic ``E(T_pi)/C(M, T_pi)`` to within
+Theta).  :func:`measure_bandwidth` estimates it by routing concrete
+batches on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.simulator import RoutingResult, RoutingSimulator
+from repro.routing.dimension_order import dimension_order_route
+from repro.routing.strategies import shortest_path_route, valiant_route
+from repro.topologies.base import Machine
+from repro.traffic.distribution import TrafficDistribution, symmetric_traffic
+from repro.util import check_positive_int, rng_from_seed
+
+__all__ = ["BandwidthMeasurement", "measure_bandwidth"]
+
+_STRATEGIES = ("shortest", "valiant", "dimension_order")
+
+
+@dataclass(frozen=True)
+class BandwidthMeasurement:
+    """An empirical bandwidth estimate and the run it came from."""
+
+    machine_name: str
+    traffic_name: str
+    strategy: str
+    num_messages: int
+    total_time: int
+    rate: float
+    max_edge_traffic: int
+    mean_latency: float
+
+    def __str__(self) -> str:
+        return (
+            f"beta^({self.machine_name}, {self.traffic_name}) ~ {self.rate:.3f} "
+            f"({self.num_messages} msgs / {self.total_time} ticks, {self.strategy})"
+        )
+
+
+def measure_bandwidth(
+    machine: Machine,
+    traffic: TrafficDistribution | None = None,
+    num_messages: int | None = None,
+    strategy: str = "shortest",
+    policy: str = "farthest",
+    seed: int | np.random.Generator | None = None,
+) -> BandwidthMeasurement:
+    """Estimate the operational bandwidth of ``machine`` under ``traffic``.
+
+    Defaults: symmetric traffic (the distribution defining ``beta(M)``)
+    and a batch of ``8 * n`` messages, which is deep enough to saturate
+    the bottleneck links of every family in the registry while staying
+    laptop-fast.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+    rng = rng_from_seed(seed)
+    n = machine.num_nodes
+    if traffic is None:
+        traffic = symmetric_traffic(n)
+    if traffic.n != n:
+        raise ValueError(
+            f"traffic is over {traffic.n} nodes but machine has {n}"
+        )
+    if num_messages is None:
+        num_messages = 8 * n
+    check_positive_int(num_messages, "num_messages")
+
+    messages = traffic.sample_messages(num_messages, seed=rng)
+    if strategy == "shortest":
+        itineraries = shortest_path_route(machine, messages)
+    elif strategy == "dimension_order":
+        itineraries = dimension_order_route(machine, messages)
+    else:
+        itineraries = valiant_route(machine, messages, seed=rng)
+
+    sim = RoutingSimulator(machine, policy=policy)
+    result: RoutingResult = sim.route(itineraries)
+    return BandwidthMeasurement(
+        machine_name=machine.name,
+        traffic_name=traffic.name,
+        strategy=strategy,
+        num_messages=num_messages,
+        total_time=result.total_time,
+        rate=result.delivery_rate,
+        max_edge_traffic=result.max_edge_traffic,
+        mean_latency=result.mean_latency,
+    )

@@ -1,0 +1,115 @@
+"""Open-loop injection sweeps: throughput and latency vs offered load.
+
+The paper's bandwidth definition descends from the cost/performance
+methodology of Kruskal & Snir [9]: offer traffic at a per-processor rate
+``r`` and watch the network either keep up (latency flat, delivered rate
+= offered rate) or saturate (queues and latency blow up, delivered rate
+plateaus at ``beta(M)/n`` per processor).  :func:`saturation_sweep` runs
+that experiment on the simulator; the knee of the curve is a third,
+fully operational estimate of the machine bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.simulator import RoutingSimulator
+from repro.topologies.base import Machine
+from repro.traffic.distribution import TrafficDistribution, symmetric_traffic
+from repro.util import check_positive_int, rng_from_seed
+
+__all__ = ["SaturationPoint", "saturation_sweep", "saturation_bandwidth"]
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One offered-load measurement."""
+
+    offered_rate: float  # packets per processor per tick
+    delivered_rate: float  # total packets delivered per tick
+    mean_latency: float
+    p99_latency: float
+    max_queue: int
+
+    @property
+    def per_node_delivered(self) -> float:
+        return self.delivered_rate
+
+    def __str__(self) -> str:
+        return (
+            f"r={self.offered_rate:.3f}: delivered {self.delivered_rate:.2f}/tick, "
+            f"latency mean {self.mean_latency:.1f} p99 {self.p99_latency:.1f}"
+        )
+
+
+def saturation_sweep(
+    machine: Machine,
+    rates: list[float] | None = None,
+    duration: int = 128,
+    traffic: TrafficDistribution | None = None,
+    policy: str = "fifo",
+    seed: int | np.random.Generator | None = None,
+) -> list[SaturationPoint]:
+    """Measure delivered rate and latency at each offered per-node rate.
+
+    For each rate ``r``, every processor independently injects a packet
+    with probability ``r`` per tick for ``duration`` ticks (destinations
+    drawn from ``traffic``, default symmetric); the run then drains.
+    Delivered rate is measured over the injection window; latency is per
+    packet (delivery - release).
+    """
+    check_positive_int(duration, "duration")
+    rng = rng_from_seed(seed)
+    n = machine.num_nodes
+    if traffic is None:
+        traffic = symmetric_traffic(n)
+    if rates is None:
+        rates = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+    points = []
+    sim = RoutingSimulator(machine, policy=policy)
+    for r in rates:
+        if not 0 < r <= 1:
+            raise ValueError(f"rates must be in (0, 1], got {r}")
+        # Bernoulli injection at each (node, tick).
+        inject = rng.random((duration, n)) < r
+        count = int(inject.sum())
+        if count == 0:
+            continue
+        msgs = traffic.sample_messages(count, seed=rng)
+        ticks, nodes = np.nonzero(inject)
+        itineraries = []
+        release = []
+        for (t, node), (_, dst) in zip(zip(ticks, nodes), msgs):
+            # Keep the sampled destination but anchor the source at the
+            # injecting node so the spatial process is honest.
+            if int(node) == dst:
+                dst = (dst + 1) % n
+            itineraries.append([int(node), int(dst)])
+            release.append(int(t))
+        result = sim.route(itineraries, release_times=release)
+        latencies = result.delivery_times - np.asarray(release)
+        points.append(
+            SaturationPoint(
+                offered_rate=float(r),
+                delivered_rate=count / max(1, result.total_time),
+                mean_latency=float(latencies.mean()),
+                p99_latency=float(np.percentile(latencies, 99)),
+                max_queue=result.max_queue,
+            )
+        )
+    return points
+
+
+def saturation_bandwidth(
+    machine: Machine,
+    rates: list[float] | None = None,
+    duration: int = 128,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """The plateau of the delivered-rate curve: an operational beta."""
+    points = saturation_sweep(machine, rates=rates, duration=duration, seed=seed)
+    if not points:
+        raise RuntimeError("no load points measured")
+    return max(p.delivered_rate for p in points)

@@ -1,0 +1,258 @@
+"""The synchronous store-and-forward network simulator.
+
+Model (matching the paper's network-machine assumptions):
+
+* time advances in lock-step ticks;
+* each *directed* link transmits at most one packet per tick;
+* packets wait in per-link output queues;
+* on a *weak* machine (``port_limit = 1``) each processor may drive at
+  most one of its outgoing links per tick (busiest-queue-first);
+* queue arbitration is a policy: ``"fifo"`` or ``"farthest"`` (greatest
+  remaining distance first -- the classic priority that makes greedy
+  routing on arrays/meshes optimal).
+
+Packets carry an itinerary of waypoints (one for shortest-path routing,
+two for Valiant routing); between waypoints they follow the
+:class:`~repro.routing.tables.NextHopTables`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.routing.tables import NextHopTables
+from repro.topologies.base import Machine
+
+__all__ = ["RoutingResult", "RoutingSimulator"]
+
+_POLICIES = ("fifo", "farthest")
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing one batch of packets."""
+
+    total_time: int
+    num_packets: int
+    delivery_times: np.ndarray
+    edge_traffic: dict[tuple[int, int], int] = field(repr=False)
+    max_queue: int = 0
+
+    @property
+    def delivery_rate(self) -> float:
+        """Average packets delivered per tick: the operational bandwidth."""
+        if self.total_time == 0:
+            return float("inf")
+        return self.num_packets / self.total_time
+
+    @property
+    def max_edge_traffic(self) -> int:
+        """Most packets carried by any single directed link (congestion)."""
+        return max(self.edge_traffic.values()) if self.edge_traffic else 0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean delivery time over packets."""
+        return float(self.delivery_times.mean()) if self.num_packets else 0.0
+
+
+class RoutingSimulator:
+    """Synchronous SAF simulator over a :class:`Machine`."""
+
+    def __init__(
+        self, machine: Machine, policy: str = "farthest", validate: bool = False
+    ):
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        self.machine = machine
+        self.policy = policy
+        #: When True, the per-tick model invariants (one packet per
+        #: directed link, weak-port limits) are asserted on every tick --
+        #: a debugging/verification mode used by the test suite.
+        self.validate = validate
+        self.tables = NextHopTables(machine)
+
+    # -- public API ------------------------------------------------------------
+
+    def route(
+        self,
+        itineraries: list[list[int]],
+        max_ticks: int | None = None,
+        release_times: list[int] | None = None,
+    ) -> RoutingResult:
+        """Deliver one packet per itinerary.
+
+        Each itinerary is ``[src, waypoint..., dest]``; the packet visits
+        the waypoints in order, following shortest paths in between.
+        ``release_times`` (default: all 0) injects packet ``i`` at its
+        source only once the clock reaches ``release_times[i]`` -- the
+        first hop completes *at* that tick (releases 0 and 1 coincide,
+        since the clock starts moving packets at tick 1).  This supports
+        open-loop injection for throughput/latency sweeps.  Returns when
+        every packet has been delivered; ``delivery_times`` are absolute
+        clock values.
+        """
+        for it in itineraries:
+            if len(it) < 2:
+                raise ValueError(f"itinerary needs src and dest, got {it}")
+        npkts = len(itineraries)
+        if npkts == 0:
+            return RoutingResult(0, 0, np.zeros(0, dtype=np.int64), {})
+        if max_ticks is None:
+            # Safe upper bound: every packet could serialise over the
+            # whole itinerary on a single link (plus injection horizon).
+            max_ticks = 4 * npkts * self.machine.num_nodes + 64
+            if release_times is not None and len(release_times):
+                max_ticks += int(max(release_times))
+
+        # Packet state: current waypoint index and itinerary.  Consecutive
+        # duplicate waypoints are collapsed so waypoint advancement in
+        # enqueue() is single-step (a repeated waypoint could otherwise
+        # slip past the delivery check).
+        legs = []
+        for it in itineraries:
+            collapsed = [it[0]]
+            for x in it[1:]:
+                if x != collapsed[-1]:
+                    collapsed.append(x)
+            if len(collapsed) == 1:
+                collapsed.append(collapsed[0])
+            legs.append(collapsed)
+        stage = [1] * npkts  # index of current target waypoint
+        delivered = np.full(npkts, -1, dtype=np.int64)
+
+        # queues[(u, v)] -> deque (fifo) or heap (farthest) of packet ids
+        fifo = self.policy == "fifo"
+        queues: dict[tuple[int, int], deque | list] = {}
+        seq = 0  # tiebreaker for the heap
+        max_queue = 0
+        edge_traffic: dict[tuple[int, int], int] = {}
+        port_limit = self.machine.port_limit
+
+        def enqueue(u: int, pid: int) -> None:
+            nonlocal seq, max_queue
+            it = legs[pid]
+            target = it[stage[pid]]
+            while u == target:
+                # Reached a waypoint; advance (possibly the final one).
+                if stage[pid] == len(it) - 1:
+                    return  # delivered; caller records the time
+                stage[pid] += 1
+                target = it[stage[pid]]
+            v = self.tables.next_hop(u, target)
+            q = queues.get((u, v))
+            if q is None:
+                q = deque() if fifo else []
+                queues[(u, v)] = q
+            if fifo:
+                q.append(pid)
+            else:
+                # remaining distance to *final* destination drives priority
+                rem = self.tables.distance(u, it[-1])
+                heapq.heappush(q, (-rem, seq, pid))
+                seq += 1
+            max_queue = max(max_queue, len(q))
+
+        if release_times is None:
+            release_times = [0] * npkts
+        if len(release_times) != npkts:
+            raise ValueError(
+                f"{len(release_times)} release times for {npkts} packets"
+            )
+        pending: dict[int, list[int]] = {}
+        undelivered = 0
+        for pid, it in enumerate(legs):
+            t_rel = int(release_times[pid])
+            if t_rel < 0:
+                raise ValueError(f"negative release time for packet {pid}")
+            if len(it) == 2 and it[0] == it[-1]:
+                # A true self-message (no intermediate waypoints) is
+                # delivered instantly; a round trip like [s, w, s] travels.
+                delivered[pid] = t_rel
+                continue
+            undelivered += 1
+            if t_rel == 0:
+                enqueue(it[0], pid)
+            else:
+                pending.setdefault(t_rel, []).append(pid)
+
+        tick = 0
+        while undelivered > 0:
+            tick += 1
+            for pid in pending.pop(tick, ()):  # newly injected packets
+                enqueue(legs[pid][0], pid)
+            if tick > max_ticks:
+                raise RuntimeError(
+                    f"routing did not finish in {max_ticks} ticks "
+                    f"({undelivered} packets left)"
+                )
+            moves: list[tuple[int, int, int]] = []  # (pid, from, to)
+            if port_limit is None:
+                candidates = list(queues.items())
+            else:
+                # Weak machine: each node picks its port_limit busiest queues.
+                per_node: dict[int, list[tuple[int, tuple[int, int]]]] = {}
+                for (u, v), q in queues.items():
+                    per_node.setdefault(u, []).append((len(q), (u, v)))
+                candidates = []
+                for u, qs in per_node.items():
+                    qs.sort(key=lambda t: (-t[0], t[1]))
+                    for _, key in qs[:port_limit]:
+                        candidates.append((key, queues[key]))
+
+            for (u, v), q in candidates:
+                if not q:
+                    continue
+                if fifo:
+                    pid = q.popleft()
+                else:
+                    pid = heapq.heappop(q)[2]
+                moves.append((pid, u, v))
+
+            if self.validate:
+                # Model invariants, checked per tick when enabled:
+                # one packet per directed link, port limits respected.
+                used_links = [(u, v) for _, u, v in moves]
+                if len(used_links) != len(set(used_links)):
+                    raise AssertionError(
+                        f"tick {tick}: a directed link moved two packets"
+                    )
+                if port_limit is not None:
+                    sends: dict[int, int] = {}
+                    for _, u, _v in moves:
+                        sends[u] = sends.get(u, 0) + 1
+                    worst = max(sends.values(), default=0)
+                    if worst > port_limit:
+                        raise AssertionError(
+                            f"tick {tick}: a weak node drove {worst} links"
+                        )
+            # Drop empty queues so the scan stays proportional to traffic.
+            for key in [k for k, q in queues.items() if not q]:
+                del queues[key]
+
+            for pid, u, v in moves:
+                edge_traffic[(u, v)] = edge_traffic.get((u, v), 0) + 1
+                it = legs[pid]
+                if v == it[-1] and stage[pid] == len(it) - 1:
+                    delivered[pid] = tick
+                    undelivered -= 1
+                    continue
+                if v == it[stage[pid]] and stage[pid] < len(it) - 1:
+                    stage[pid] += 1
+                if v == it[-1] and stage[pid] == len(it) - 1:
+                    delivered[pid] = tick
+                    undelivered -= 1
+                    continue
+                enqueue(v, pid)
+
+        return RoutingResult(
+            total_time=tick,
+            num_packets=npkts,
+            delivery_times=delivered,
+            edge_traffic=edge_traffic,
+            max_queue=max_queue,
+        )

@@ -1,0 +1,47 @@
+"""Routing strategies: itinerary builders for the simulator.
+
+A strategy turns (source, destination) messages into itineraries:
+
+* :func:`shortest_path_route` -- greedy shortest-path (oblivious,
+  deterministic given the tie-breaking of the next-hop tables);
+* :func:`valiant_route` -- Valiant/VLB two-phase randomised routing via a
+  uniformly random intermediate node, the standard congestion-smoothing
+  baseline on hypercubic networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topologies.base import Machine
+from repro.util import rng_from_seed
+
+__all__ = ["shortest_path_route", "valiant_route"]
+
+
+def shortest_path_route(
+    machine: Machine, messages: list[tuple[int, int]]
+) -> list[list[int]]:
+    """Direct itineraries ``[src, dst]``."""
+    n = machine.num_nodes
+    for s, d in messages:
+        if not (0 <= s < n and 0 <= d < n):
+            raise ValueError(f"message ({s}, {d}) out of range for n={n}")
+    return [[s, d] for s, d in messages]
+
+
+def valiant_route(
+    machine: Machine,
+    messages: list[tuple[int, int]],
+    seed: int | np.random.Generator | None = None,
+) -> list[list[int]]:
+    """Two-phase itineraries ``[src, random intermediate, dst]``."""
+    n = machine.num_nodes
+    rng = rng_from_seed(seed)
+    mids = rng.integers(0, n, size=len(messages))
+    out = []
+    for (s, d), w in zip(messages, np.asarray(mids, dtype=int)):
+        if not (0 <= s < n and 0 <= d < n):
+            raise ValueError(f"message ({s}, {d}) out of range for n={n}")
+        out.append([s, int(w), d])
+    return out

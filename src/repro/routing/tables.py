@@ -1,0 +1,99 @@
+"""All-pairs next-hop routing tables, built lazily per destination.
+
+For destination ``d``, one BFS from ``d`` yields, for every node ``u``,
+its distance to ``d`` and a parent pointer -- the next hop on a shortest
+path.  Tables are cached per destination so routing a batch with few
+distinct destinations stays cheap.
+
+Tie-breaking is deterministic (lowest-numbered neighbour wins), so two
+runs with the same seed route identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topologies.base import Machine
+
+__all__ = ["NextHopTables"]
+
+
+class NextHopTables:
+    """Lazy per-destination shortest-path next-hop and distance tables."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        n = machine.num_nodes
+        self._adj: list[list[int]] = [
+            sorted(machine.graph.neighbors(v)) for v in range(n)
+        ]
+        self._next: dict[int, np.ndarray] = {}
+        self._dist: dict[int, np.ndarray] = {}
+
+    def _build(self, dest: int) -> None:
+        n = self.machine.num_nodes
+        nxt = np.full(n, -1, dtype=np.int32)
+        dist = np.full(n, -1, dtype=np.int32)
+        dist[dest] = 0
+        nxt[dest] = dest
+        frontier = [dest]
+        while frontier:
+            new_frontier: list[int] = []
+            for v in frontier:
+                dv = dist[v]
+                for w in self._adj[v]:
+                    if dist[w] < 0:
+                        dist[w] = dv + 1
+                        new_frontier.append(w)
+            frontier = new_frontier
+        if np.any(dist < 0):
+            raise RuntimeError("machine graph is disconnected")
+        # Next hop: any neighbour one step closer.  A deterministic
+        # pseudo-random tie-break keyed by (node, dest) spreads the load
+        # across parallel shortest paths; the lowest-index choice would
+        # concentrate all traffic of rich families (hypercube, butterfly)
+        # onto a few dimension-ordered links and bias the congestion
+        # estimate far from the optimum.
+        for v in range(n):
+            if v == dest:
+                continue
+            dv = dist[v]
+            cands = [w for w in self._adj[v] if dist[w] == dv - 1]
+            h = (v * 2654435761 + dest * 1099087573) & 0x7FFFFFFF
+            nxt[v] = cands[h % len(cands)]
+        self._next[dest] = nxt
+        self._dist[dest] = dist
+
+    def next_hop(self, node: int, dest: int) -> int:
+        """Next node on a shortest path from ``node`` toward ``dest``."""
+        if dest not in self._next:
+            self._build(dest)
+        return int(self._next[dest][node])
+
+    def distance(self, node: int, dest: int) -> int:
+        """Shortest-path distance from ``node`` to ``dest``."""
+        if dest not in self._dist:
+            self._build(dest)
+        return int(self._dist[dest][node])
+
+    def distance_array(self, dest: int) -> np.ndarray:
+        """Vector of distances from every node to ``dest``."""
+        if dest not in self._dist:
+            self._build(dest)
+        return self._dist[dest]
+
+    def path(self, src: int, dest: int) -> list[int]:
+        """A concrete shortest path (list of nodes, inclusive)."""
+        out = [src]
+        v = src
+        while v != dest:
+            v = self.next_hop(v, dest)
+            out.append(v)
+            if len(out) > self.machine.num_nodes:
+                raise RuntimeError("routing loop detected")
+        return out
+
+    @property
+    def num_cached(self) -> int:
+        """Number of destinations with built tables."""
+        return len(self._next)

@@ -1,0 +1,62 @@
+"""The paper's results, executable.
+
+* :mod:`slowdown` -- the Efficient Emulation Theorem (Theorem 1):
+  symbolic and numeric lower bounds ``S_c >= Omega(beta_G / beta_H)``,
+  and Lemma 8's routing-time bound;
+* :mod:`host_size` -- the maximum-host-size solver behind Tables 1-3
+  (set communication slowdown = load slowdown, solve for ``|H|``);
+* :mod:`tables` -- programmatic Tables 1, 2, 3 and 4;
+* :mod:`figure1` -- the two Figure-1 curves and their crossover;
+* :mod:`bottleneck` -- the empirical bottleneck-freeness test;
+* :mod:`lam` -- the minimal-computation-time lambda(G).
+"""
+
+from repro.theory.bottleneck import BottleneckReport, bottleneck_freeness
+from repro.theory.catalog import (
+    CatalogEntry,
+    catalog_consistency_violations,
+    full_catalog,
+)
+from repro.theory.expander_gap import GapPoint, expander_gap_experiment
+from repro.theory.figure1 import Figure1Data, figure1_data
+from repro.theory.host_size import max_host_size, theorem_guest_time
+from repro.theory.lam import lam_formula, lam_numeric, lemma9_depth_condition
+from repro.theory.slowdown import (
+    SlowdownBound,
+    lemma8_time_lower,
+    numeric_slowdown_bound,
+    symbolic_slowdown,
+)
+from repro.theory.tables import (
+    generate_table,
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_table4,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "CatalogEntry",
+    "GapPoint",
+    "catalog_consistency_violations",
+    "Figure1Data",
+    "SlowdownBound",
+    "bottleneck_freeness",
+    "expander_gap_experiment",
+    "figure1_data",
+    "full_catalog",
+    "generate_table",
+    "generate_table1",
+    "generate_table2",
+    "generate_table3",
+    "generate_table4",
+    "lam_formula",
+    "lam_numeric",
+    "lemma8_time_lower",
+    "lemma9_depth_condition",
+    "max_host_size",
+    "numeric_slowdown_bound",
+    "symbolic_slowdown",
+    "theorem_guest_time",
+]

@@ -1,0 +1,50 @@
+"""lambda(G): the minimal guest computation time.
+
+The Efficient Emulation Theorem applies only to computations of at least
+``lambda(G)`` steps -- short computations could be emulated by local
+recomputation without communicating.  ``lambda`` is the average dilation
+of the bandwidth-witnessing embedding of ``K_n`` into ``G``, which is
+the average distance, proportional to the diameter for every registry
+family (the paper's remark).
+
+Lemma 9 additionally needs ``lambda <= O(C(G, K_n) / n)`` -- the cone
+bundles must fit -- which :func:`lemma9_depth_condition` checks
+numerically: it holds with room to spare for all the non-expander
+families (and is exactly the place the bandwidth method loses expander
+guests, cf. Section 1.2).
+"""
+
+from __future__ import annotations
+
+from repro.asymptotics import LogPoly
+from repro.bandwidth.graph_theoretic import routing_congestion
+from repro.topologies.base import Machine
+from repro.topologies.registry import family_spec
+
+__all__ = ["lam_formula", "lam_numeric", "lemma9_depth_condition"]
+
+
+def lam_formula(family_key: str) -> LogPoly:
+    """Closed-form lambda (the Table-4 Delta column)."""
+    return family_spec(family_key).delta
+
+
+def lam_numeric(machine: Machine, sample: int = 64) -> float:
+    """Measured lambda: the average distance of the witness embedding."""
+    return machine.average_distance(sample=sample)
+
+
+def lemma9_depth_condition(machine: Machine, sample: int = 64) -> float:
+    """The ratio ``lambda(G) / (C(G, K_n) / n)`` of Lemma 9's condition.
+
+    Values O(1) mean circuits of depth ``(1 + Theta(1)) * lambda`` admit
+    the full gamma-construction (``n t^2 <= O(t C)``); growing values
+    flag guests (expanders at small sizes approach this) where the
+    bandwidth argument needs deeper circuits.
+    """
+    n = machine.num_nodes
+    lam = lam_numeric(machine, sample=sample)
+    c = routing_congestion(machine)
+    if c == 0:
+        return float("inf")
+    return lam / (c / n)

@@ -1,0 +1,65 @@
+"""Fixed-connection network machine generators.
+
+Every machine family named in the paper is constructible here, either
+directly (``build_mesh(side, k)``) or through the registry by approximate
+size (``family_spec("mesh_2").build_with_size(4096)``).
+"""
+
+from repro.topologies.base import Machine
+from repro.topologies.hierarchical import (
+    build_mesh_of_trees,
+    build_multigrid,
+    build_pyramid,
+)
+from repro.topologies.hypercubic import (
+    build_butterfly,
+    build_ccc,
+    build_de_bruijn,
+    build_hypercube,
+    build_shuffle_exchange,
+    build_weak_hypercube,
+)
+from repro.topologies.linear import build_global_bus, build_linear_array, build_ring
+from repro.topologies.meshes import (
+    build_mesh,
+    build_torus,
+    build_xgrid,
+    mesh_side_for_size,
+)
+from repro.topologies.randomized import build_expander, build_multibutterfly
+from repro.topologies.registry import (
+    FAMILIES,
+    FamilySpec,
+    all_family_keys,
+    family_spec,
+)
+from repro.topologies.trees import build_tree, build_weak_ppn, build_xtree
+
+__all__ = [
+    "FAMILIES",
+    "FamilySpec",
+    "Machine",
+    "all_family_keys",
+    "build_butterfly",
+    "build_ccc",
+    "build_de_bruijn",
+    "build_expander",
+    "build_global_bus",
+    "build_hypercube",
+    "build_linear_array",
+    "build_mesh",
+    "build_mesh_of_trees",
+    "build_multibutterfly",
+    "build_multigrid",
+    "build_pyramid",
+    "build_ring",
+    "build_shuffle_exchange",
+    "build_torus",
+    "build_tree",
+    "build_weak_hypercube",
+    "build_weak_ppn",
+    "build_xgrid",
+    "build_xtree",
+    "family_spec",
+    "mesh_side_for_size",
+]

@@ -1,0 +1,142 @@
+"""The ``Machine`` abstraction: a fixed-connection network machine.
+
+A machine is a connected multigraph whose vertices are processors and
+whose edges are bidirectional communication links, exactly as in the
+paper's "network multigraph" model.  Each concrete machine also carries
+
+* ``family``     -- the name of its family in the registry (Table 4 row),
+* ``params``     -- the structural parameters it was built from,
+* ``port_limit`` -- how many incident links a processor may drive per
+  step.  ``None`` means all of them (the usual model); ``1`` models the
+  paper's *weak* machines (Weak Hypercube, Weak Parallel Prefix Network),
+  whose processors can use only one wire per step.
+
+Vertices are always relabelled to ``0..n-1`` (ints) for the benefit of the
+routing simulator; the original structured labels are kept in ``labels``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+import networkx as nx
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A fixed-connection network machine over an undirected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        family: str,
+        params: Mapping[str, Any] | None = None,
+        port_limit: int | None = None,
+        name: str | None = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("a machine needs at least one processor")
+        if not nx.is_connected(graph):
+            raise ValueError(f"{family} machine graph must be connected")
+        relabelled = nx.convert_node_labels_to_integers(
+            graph, ordering="sorted", label_attribute="orig"
+        )
+        self.graph: nx.Graph = relabelled
+        self.family = family
+        self.params: dict[str, Any] = dict(params or {})
+        self.port_limit = port_limit
+        self.name = name or self._default_name()
+        self.labels: dict[int, Hashable] = {
+            v: data.get("orig", v) for v, data in relabelled.nodes(data=True)
+        }
+        self._diameter: int | None = None
+
+    def _default_name(self) -> str:
+        if self.params:
+            ps = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            return f"{self.family}({ps})"
+        return self.family
+
+    # -- basic structure ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors ``|M|``."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of simple edges ``E(M)`` (multiplicity-summed)."""
+        return self.graph.number_of_edges()
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum processor degree."""
+        return max(d for _, d in self.graph.degree())
+
+    @property
+    def is_weak(self) -> bool:
+        """True for weak machines (one usable wire per processor per step)."""
+        return self.port_limit == 1
+
+    def nodes(self):
+        """Iterate over processor ids (0..n-1)."""
+        return self.graph.nodes()
+
+    def edges(self):
+        """Iterate over links as (u, v) pairs."""
+        return self.graph.edges()
+
+    def neighbors(self, v: int):
+        """Neighbours of processor ``v``."""
+        return self.graph.neighbors(v)
+
+    # -- metrics -------------------------------------------------------------
+
+    def diameter(self, exact: bool | None = None) -> int:
+        """Graph diameter.
+
+        Exact computation is O(n * E); for machines above ~2000 processors
+        the default switches to the double-sweep approximation (which is
+        exact on trees and within a factor 2 always).  Pass ``exact=True``
+        to force the exact value.
+        """
+        if self._diameter is not None:
+            return self._diameter
+        if exact is None:
+            exact = self.num_nodes <= 2000
+        if exact:
+            self._diameter = nx.diameter(self.graph)
+        else:
+            self._diameter = nx.approximation.diameter(self.graph, seed=0)
+        return self._diameter
+
+    def average_distance(self, sample: int = 64, seed: int = 0) -> float:
+        """Mean shortest-path distance, estimated from BFS at sampled sources."""
+        import random
+
+        n = self.num_nodes
+        rnd = random.Random(seed)
+        sources = list(range(n)) if n <= sample else rnd.sample(range(n), sample)
+        total = 0
+        count = 0
+        for s in sources:
+            lengths = nx.single_source_shortest_path_length(self.graph, s)
+            total += sum(lengths.values())
+            count += len(lengths) - 1
+        return total / count if count else 0.0
+
+    # -- misc -----------------------------------------------------------------
+
+    def subscript(self) -> str:
+        """Dimension subscript for table display (e.g. ``mesh_2``)."""
+        k = self.params.get("k")
+        return f"{self.family}_{k}" if k is not None else self.family
+
+    def __repr__(self) -> str:
+        weak = ", weak" if self.is_weak else ""
+        return (
+            f"Machine({self.name}, n={self.num_nodes}, "
+            f"E={self.num_edges}, deg<={self.max_degree}{weak})"
+        )

@@ -1,0 +1,127 @@
+"""Hierarchical mesh machines: mesh-of-trees, multigrid, pyramid.
+
+These are the Table-2 guest families.  All have Theta(lg n) diameter
+(traffic can climb a tree/coarse level) while keeping the mesh-like
+bandwidth Theta(n^{(k-1)/k}), which is why Tables 1 and 2 group them with
+meshes as hosts.
+
+Structural choices (asymptotics-preserving):
+
+* **mesh-of-trees**: leaves form a k-dim grid with *no* grid links; every
+  axis-parallel line of leaves carries its own complete binary tree.
+* **pyramid**: a stack of k-dim meshes of sides m, m/2, ..., 1; each
+  coarse node links to *all* 2^k cells of its block one level finer.
+* **multigrid**: same stack, but each coarse node links only to the
+  corner representative of its block (the classic coarsening stencil).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int, is_power_of_two
+
+__all__ = ["build_mesh_of_trees", "build_multigrid", "build_pyramid"]
+
+
+def _require_pow2_side(side: int) -> None:
+    if not is_power_of_two(side):
+        raise ValueError(f"side must be a power of two, got {side}")
+
+
+def build_mesh_of_trees(side: int, k: int = 2) -> Machine:
+    """k-dimensional mesh of trees with ``side**k`` leaf processors."""
+    check_positive_int(side, "side", minimum=2)
+    check_positive_int(k, "k", minimum=1)
+    _require_pow2_side(side)
+    g = nx.Graph()
+
+    def leaf(coord):
+        return ("L",) + tuple(coord)
+
+    for coord in itertools.product(range(side), repeat=k):
+        g.add_node(leaf(coord))
+
+    # One complete binary tree per axis-parallel line.  Heap indexing: the
+    # tree over a line of `side` leaves has internal nodes 1..side-1; leaf
+    # at position i sits at heap slot side + i.
+    for dim in range(k):
+        other_dims = [d for d in range(k) if d != dim]
+        for rest in itertools.product(range(side), repeat=k - 1):
+            def internal(idx, _dim=dim, _rest=rest):
+                return ("T", _dim) + tuple(_rest) + (idx,)
+
+            for v in range(2, side):
+                g.add_edge(internal(v), internal(v // 2))
+            for i in range(side):
+                coord = [0] * k
+                for d, r in zip(other_dims, rest):
+                    coord[d] = r
+                coord[dim] = i
+                parent = (side + i) // 2
+                if side == 2:
+                    parent = 1
+                g.add_edge(leaf(coord), internal(parent))
+    return Machine(g, family="mesh_of_trees", params={"side": side, "k": k})
+
+
+def _mesh_level_edges(g: nx.Graph, level: int, side: int, k: int) -> None:
+    """Add the mesh links of one pyramid/multigrid level."""
+    for coord in itertools.product(range(side), repeat=k):
+        g.add_node((level,) + coord)
+        for d in range(k):
+            if coord[d] + 1 < side:
+                nbr = list(coord)
+                nbr[d] += 1
+                g.add_edge((level,) + coord, (level,) + tuple(nbr))
+
+
+def build_pyramid(side: int, k: int = 2) -> Machine:
+    """k-dimensional pyramid over a base mesh of the given side.
+
+    Level 0 is the side**k base mesh; level l is a mesh of side
+    ``side / 2**l``; each level-(l+1) node is linked to every node of its
+    2^k-cell block at level l.
+    """
+    check_positive_int(side, "side", minimum=2)
+    check_positive_int(k, "k", minimum=1)
+    _require_pow2_side(side)
+    g = nx.Graph()
+    s = side
+    level = 0
+    while s >= 1:
+        _mesh_level_edges(g, level, s, k)
+        if s > 1:
+            coarse = s // 2
+            for coord in itertools.product(range(coarse), repeat=k):
+                for off in itertools.product((0, 1), repeat=k):
+                    child = tuple(2 * c + o for c, o in zip(coord, off))
+                    g.add_edge((level + 1,) + coord, (level,) + child)
+        s //= 2
+        level += 1
+    return Machine(g, family="pyramid", params={"side": side, "k": k})
+
+
+def build_multigrid(side: int, k: int = 2) -> Machine:
+    """k-dimensional multigrid: mesh stack with corner-representative
+    parent links (each coarse node adopts the even-coordinate corner of
+    its block)."""
+    check_positive_int(side, "side", minimum=2)
+    check_positive_int(k, "k", minimum=1)
+    _require_pow2_side(side)
+    g = nx.Graph()
+    s = side
+    level = 0
+    while s >= 1:
+        _mesh_level_edges(g, level, s, k)
+        if s > 1:
+            coarse = s // 2
+            for coord in itertools.product(range(coarse), repeat=k):
+                child = tuple(2 * c for c in coord)
+                g.add_edge((level + 1,) + coord, (level,) + child)
+        s //= 2
+        level += 1
+    return Machine(g, family="multigrid", params={"side": side, "k": k})

@@ -1,0 +1,117 @@
+"""Hypercubic / logarithmic-diameter machines: butterfly, wrapped
+butterfly, cube-connected-cycles, shuffle-exchange, de Bruijn, hypercube
+and its weak variant.
+
+These are the Table-3 guest families: every fixed-degree member has
+bandwidth Theta(n / lg n) (n processors, constant degree, logarithmic
+average distance -- Lemma 10 gives the upper bound, and these graphs all
+achieve it), and diameter Theta(lg n).
+
+The (strong) hypercube has unbounded degree and beta = Theta(n); the
+*weak* hypercube may drive only one wire per processor per step, which
+drops the achievable rate back to Theta(n / lg n).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int
+
+__all__ = [
+    "build_butterfly",
+    "build_ccc",
+    "build_de_bruijn",
+    "build_hypercube",
+    "build_shuffle_exchange",
+    "build_weak_hypercube",
+]
+
+
+def build_butterfly(order: int, wrapped: bool = False) -> Machine:
+    """Butterfly of the given order: (order+1) * 2**order processors.
+
+    Node ``(level, row)`` for level in 0..order; straight edges keep the
+    row, cross edges flip bit ``level`` of the row.  With ``wrapped=True``
+    levels 0 and ``order`` are identified (order * 2**order processors).
+    """
+    check_positive_int(order, "order", minimum=1)
+    rows = 2**order
+    nlevels = order if wrapped else order + 1
+    g = nx.Graph()
+    for level in range(order):
+        nxt = (level + 1) % nlevels
+        for row in range(rows):
+            g.add_edge((level, row), (nxt, row))
+            g.add_edge((level, row), (nxt, row ^ (1 << level)))
+    family = "wrapped_butterfly" if wrapped else "butterfly"
+    return Machine(g, family=family, params={"order": order})
+
+
+def build_ccc(order: int) -> Machine:
+    """Cube-connected-cycles of the given order: order * 2**order nodes.
+
+    Each hypercube corner ``x`` becomes a cycle of ``order`` nodes
+    ``(x, i)``; cube edge ``i`` attaches at cycle position ``i``.
+    """
+    check_positive_int(order, "order", minimum=3)
+    g = nx.Graph()
+    for x in range(2**order):
+        for i in range(order):
+            g.add_edge((x, i), (x, (i + 1) % order))
+            g.add_edge((x, i), (x ^ (1 << i), i))
+    return Machine(g, family="ccc", params={"order": order})
+
+
+def build_shuffle_exchange(order: int) -> Machine:
+    """Shuffle-exchange graph on 2**order nodes.
+
+    Exchange edges flip the low bit; shuffle edges rotate the bit string
+    left.  Self-loops (all-zeros / all-ones shuffles) are dropped.
+    """
+    check_positive_int(order, "order", minimum=2)
+    n = 2**order
+    mask = n - 1
+    g = nx.Graph()
+    for x in range(n):
+        g.add_node(x)
+        g.add_edge(x, x ^ 1)
+        shuffled = ((x << 1) | (x >> (order - 1))) & mask
+        if shuffled != x:
+            g.add_edge(x, shuffled)
+    return Machine(g, family="shuffle_exchange", params={"order": order})
+
+
+def build_de_bruijn(order: int) -> Machine:
+    """Binary de Bruijn graph on 2**order nodes (undirected, loop-free).
+
+    Edges ``x -> (2x + b) mod 2**order`` for b in {0, 1}.
+    """
+    check_positive_int(order, "order", minimum=2)
+    n = 2**order
+    mask = n - 1
+    g = nx.Graph()
+    for x in range(n):
+        g.add_node(x)
+        for b in (0, 1):
+            y = ((x << 1) | b) & mask
+            if y != x:
+                g.add_edge(x, y)
+    return Machine(g, family="de_bruijn", params={"order": order})
+
+
+def build_hypercube(order: int) -> Machine:
+    """Boolean hypercube on 2**order nodes (degree = order, *not* fixed)."""
+    check_positive_int(order, "order", minimum=1)
+    g = nx.hypercube_graph(order)
+    return Machine(g, family="hypercube", params={"order": order})
+
+
+def build_weak_hypercube(order: int) -> Machine:
+    """Weak hypercube: same wiring, one usable wire per processor per step."""
+    check_positive_int(order, "order", minimum=1)
+    g = nx.hypercube_graph(order)
+    return Machine(
+        g, family="weak_hypercube", params={"order": order}, port_limit=1
+    )

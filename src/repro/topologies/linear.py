@@ -1,0 +1,46 @@
+"""Linear arrays, rings, and the global bus.
+
+The global bus is modelled as the standard two-hub gadget: processors
+attach alternately to one of two hub vertices joined by a single link.
+Any bisection of the processors crosses that link, so the graph-theoretic
+bandwidth is Theta(1) and the diameter Theta(1), exactly the Table-4 row.
+(A star would get the diameter right but grossly overstate bandwidth,
+since the congestion measure charges per *edge*, not per hub.)
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int
+
+__all__ = ["build_linear_array", "build_ring", "build_global_bus"]
+
+
+def build_linear_array(n: int) -> Machine:
+    """Linear array (path) on ``n`` processors."""
+    check_positive_int(n, "n", minimum=2)
+    return Machine(nx.path_graph(n), family="linear_array", params={"n": n})
+
+
+def build_ring(n: int) -> Machine:
+    """Ring (cycle) on ``n`` processors."""
+    check_positive_int(n, "n", minimum=3)
+    return Machine(nx.cycle_graph(n), family="ring", params={"n": n})
+
+
+def build_global_bus(n: int) -> Machine:
+    """Global bus shared by ``n`` processors (two-hub single-link model).
+
+    Vertices: ``n`` processors plus hubs ``A`` and ``B``; processor ``i``
+    attaches to hub ``A`` if ``i`` is even, else ``B``; hubs share one
+    link.  The single A-B link is the bus: all traffic between the two
+    halves serialises on it.
+    """
+    check_positive_int(n, "n", minimum=2)
+    g = nx.Graph()
+    g.add_edge("hubA", "hubB")
+    for i in range(n):
+        g.add_edge(f"p{i:06d}", "hubA" if i % 2 == 0 else "hubB")
+    return Machine(g, family="global_bus", params={"n": n})

@@ -1,0 +1,87 @@
+"""Randomised machine families: expanders and multibutterflies.
+
+The paper quotes both as Table-3 guests with beta = Theta(n / lg n) and
+diameter Theta(lg n).  Random constructions achieve these bounds with
+overwhelming probability:
+
+* **expander**: a random d-regular graph (d >= 3) is an expander w.h.p.
+* **multibutterfly**: a butterfly-like levelled network in which each
+  node at level ``l`` connects to ``multiplicity`` random rows inside the
+  upper half and ``multiplicity`` random rows inside the lower half of
+  its 2^{order-l}-row block at the next level -- the random-splitter
+  construction.
+
+Both take a seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int, rng_from_seed
+
+__all__ = ["build_expander", "build_multibutterfly"]
+
+
+def build_expander(n: int, degree: int = 4, seed: int | None = None) -> Machine:
+    """Random ``degree``-regular graph on ``n`` nodes (connected w.h.p.;
+    retries the seed until connected)."""
+    check_positive_int(n, "n", minimum=degree + 1)
+    check_positive_int(degree, "degree", minimum=3)
+    if (n * degree) % 2 != 0:
+        raise ValueError(f"n * degree must be even, got n={n}, degree={degree}")
+    rng = rng_from_seed(seed)
+    for attempt in range(32):
+        s = int(rng.integers(0, 2**31 - 1))
+        g = nx.random_regular_graph(degree, n, seed=s)
+        if nx.is_connected(g):
+            return Machine(
+                g,
+                family="expander",
+                params={"n": n, "degree": degree, "seed": s},
+            )
+    raise RuntimeError(f"no connected {degree}-regular graph found in 32 tries")
+
+
+def build_multibutterfly(
+    order: int, multiplicity: int = 2, seed: int | None = None
+) -> Machine:
+    """Multibutterfly of the given order with random splitters.
+
+    Nodes ``(level, row)`` for level 0..order, 2**order rows.  At level
+    ``l`` the rows split into blocks of size ``2**(order-l)``; each node
+    gets ``multiplicity`` random links into the top half and
+    ``multiplicity`` into the bottom half of its block at level ``l+1``.
+    A deterministic butterfly edge pair is always included so the network
+    is connected for every seed.
+    """
+    check_positive_int(order, "order", minimum=1)
+    check_positive_int(multiplicity, "multiplicity", minimum=1)
+    rng = rng_from_seed(seed)
+    rows = 2**order
+    g = nx.Graph()
+    for level in range(order):
+        block = 2 ** (order - level)
+        half = block // 2
+        for row in range(rows):
+            base = (row // block) * block
+            offset = row - base
+            in_top = offset < half
+            top_range = (base, base + half)
+            bot_range = (base + half, base + block)
+            same = top_range if in_top else bot_range
+            other = bot_range if in_top else top_range
+            # Deterministic butterfly backbone: straight + cross edge.
+            g.add_edge((level, row), (level + 1, row))
+            g.add_edge((level, row), (level + 1, base + (offset + half) % block))
+            for lo, hi in (same, other):
+                picks = rng.integers(lo, hi, size=multiplicity)
+                for r2 in np.asarray(picks, dtype=int):
+                    g.add_edge((level, row), (level + 1, int(r2)))
+    return Machine(
+        g,
+        family="multibutterfly",
+        params={"order": order, "multiplicity": multiplicity},
+    )

@@ -1,0 +1,82 @@
+"""Tree-shaped machines: complete binary tree, X-tree, weak parallel
+prefix network.
+
+All three have Theta(lg n) diameter; they differ in bandwidth.  The tree
+and PPN funnel all cross traffic through a single root link (beta =
+Theta(1)), while the X-tree's lateral level links give it beta =
+Theta(lg n): a balanced cut crosses one level edge at each of the lg n
+levels.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int
+
+__all__ = ["build_tree", "build_xtree", "build_weak_ppn"]
+
+
+def _complete_binary_tree_edges(height: int, prefix: str = ""):
+    """Heap-indexed complete binary tree edges, nodes 1 .. 2^(h+1)-1."""
+    top = 2 ** (height + 1)
+    for v in range(2, top):
+        yield f"{prefix}{v}", f"{prefix}{v // 2}"
+
+
+def build_tree(height: int) -> Machine:
+    """Complete binary tree of the given height (n = 2^(h+1) - 1 nodes)."""
+    check_positive_int(height, "height", minimum=1)
+    g = nx.Graph()
+    g.add_node("t1")
+    g.add_edges_from(_complete_binary_tree_edges(height, prefix="t"))
+    # Zero-pad labels so sorted() keeps heap order.
+    g = nx.relabel_nodes(g, {v: f"t{int(v[1:]):08d}" for v in g.nodes})
+    return Machine(g, family="tree", params={"height": height})
+
+
+def build_xtree(height: int) -> Machine:
+    """X-tree: complete binary tree plus a path through each level.
+
+    Level ``l`` holds nodes ``2^l .. 2^(l+1)-1`` (heap order = left-to-right
+    order); consecutive nodes within a level are joined, giving the
+    lateral links that raise the bandwidth to Theta(lg n).
+    """
+    check_positive_int(height, "height", minimum=1)
+    g = nx.Graph()
+    g.add_node("x1")
+    g.add_edges_from(_complete_binary_tree_edges(height, prefix="x"))
+    for level in range(1, height + 1):
+        first = 2**level
+        for v in range(first, 2 ** (level + 1) - 1):
+            g.add_edge(f"x{v}", f"x{v + 1}")
+    g = nx.relabel_nodes(g, {v: f"x{int(v[1:]):08d}" for v in g.nodes})
+    return Machine(g, family="xtree", params={"height": height})
+
+
+def build_weak_ppn(height: int) -> Machine:
+    """Weak parallel prefix network over ``2^height`` leaf processors.
+
+    Two complete binary trees (an up-sweep tree and a down-sweep tree)
+    share the same leaves; internal switch nodes are distinct per tree.
+    Processors are *weak*: one usable wire per step (``port_limit=1``),
+    matching the paper's Weak PPN row (beta = Theta(1), diam = Theta(lg n)).
+    """
+    check_positive_int(height, "height", minimum=1)
+    g = nx.Graph()
+    nleaves = 2**height
+    for tree in ("u", "d"):
+        g.add_node(f"{tree}{1:08d}")
+        for child, parent in _complete_binary_tree_edges(height - 1, prefix=tree):
+            g.add_edge(
+                f"{tree[0]}{int(child[1:]):08d}", f"{tree[0]}{int(parent[1:]):08d}"
+            )
+        # Attach the shared leaves under the deepest internal level.
+        first_internal = 2 ** (height - 1)
+        for i in range(nleaves):
+            parent = first_internal + i // 2
+            g.add_edge(f"leaf{i:08d}", f"{tree}{parent:08d}")
+    return Machine(
+        g, family="weak_ppn", params={"height": height}, port_limit=1
+    )

@@ -1,0 +1,47 @@
+"""Traffic distributions and traffic multigraphs.
+
+The paper's bandwidth is always *relative to a traffic distribution*
+``pi`` (relative frequency of source-destination pairs).  This subpackage
+provides
+
+* :class:`TrafficDistribution` -- a distribution over ordered pairs, with
+  the generators used in the paper (symmetric, quasi-symmetric) and the
+  classic routing workloads (permutation, transpose, bit-reversal,
+  hot-spot) used by the ablation benches,
+* traffic *multigraphs* (integral edge weights proportional to the pair
+  frequencies) and the scaling operator ``x * G`` from the paper's
+  limit-definition of congestion,
+* the ``K_{r,s}`` graph class of Lemma 9 with a membership test.
+"""
+
+from repro.traffic.distribution import (
+    TrafficDistribution,
+    bit_reversal_traffic,
+    hot_spot_traffic,
+    permutation_traffic,
+    quasi_symmetric_traffic,
+    symmetric_traffic,
+    transpose_traffic,
+)
+from repro.traffic.locality import local_traffic
+from repro.traffic.multigraph import (
+    TrafficMultigraph,
+    in_K_class,
+    k_class_parameters,
+    scale_multigraph,
+)
+
+__all__ = [
+    "TrafficDistribution",
+    "TrafficMultigraph",
+    "bit_reversal_traffic",
+    "hot_spot_traffic",
+    "in_K_class",
+    "local_traffic",
+    "k_class_parameters",
+    "permutation_traffic",
+    "quasi_symmetric_traffic",
+    "scale_multigraph",
+    "symmetric_traffic",
+    "transpose_traffic",
+]

@@ -1,0 +1,201 @@
+"""Traffic distributions over ordered processor pairs.
+
+A :class:`TrafficDistribution` is the paper's ``pi``: for each ordered
+pair ``(p_i, p_j)`` with ``i != j``, the relative frequency of a message
+originating at ``p_i`` destined for ``p_j``.  Internally it is a sparse
+dict of pair weights (not necessarily normalised -- only ratios matter),
+plus helpers to sample concrete message batches for the routing
+simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.util import check_positive_int, rng_from_seed
+
+__all__ = [
+    "TrafficDistribution",
+    "symmetric_traffic",
+    "quasi_symmetric_traffic",
+    "permutation_traffic",
+    "transpose_traffic",
+    "bit_reversal_traffic",
+    "hot_spot_traffic",
+]
+
+
+class TrafficDistribution:
+    """A weighted distribution over ordered (source, destination) pairs."""
+
+    def __init__(self, n: int, pairs: dict[tuple[int, int], float], name: str = ""):
+        check_positive_int(n, "n", minimum=2)
+        self.n = n
+        self.name = name or "traffic"
+        clean: dict[tuple[int, int], float] = {}
+        for (s, d), w in pairs.items():
+            if not (0 <= s < n and 0 <= d < n):
+                raise ValueError(f"pair ({s}, {d}) out of range for n={n}")
+            if s == d:
+                raise ValueError(f"self-pair ({s}, {d}) not allowed")
+            if w < 0:
+                raise ValueError(f"negative weight {w} for pair ({s}, {d})")
+            if w > 0:
+                clean[(s, d)] = float(w)
+        if not clean:
+            raise ValueError("traffic distribution must have positive support")
+        self.pairs = clean
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def support_size(self) -> int:
+        """Number of ordered pairs with nonzero frequency."""
+        return len(self.pairs)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all pair weights."""
+        return sum(self.pairs.values())
+
+    def is_quasi_symmetric(self, c: float = 0.01) -> bool:
+        """Paper definition: Omega(n^2) pairs have *equal* nonzero
+        probability and all other pairs are disallowed.  ``c`` is the
+        constant in ``support >= c * n^2``."""
+        weights = set(round(w, 12) for w in self.pairs.values())
+        return len(weights) == 1 and self.support_size >= c * self.n * self.n
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_messages(
+        self, m: int, seed: int | np.random.Generator | None = None
+    ) -> list[tuple[int, int]]:
+        """Draw ``m`` (source, destination) messages i.i.d. from ``pi``."""
+        check_positive_int(m, "m")
+        rng = rng_from_seed(seed)
+        keys = list(self.pairs.keys())
+        w = np.fromiter(self.pairs.values(), dtype=float, count=len(keys))
+        idx = rng.choice(len(keys), size=m, p=w / w.sum())
+        return [keys[i] for i in idx]
+
+    def restrict(self, nodes: Iterable[int]) -> "TrafficDistribution":
+        """Restriction to pairs entirely inside ``nodes`` (relabelled 0..)."""
+        keep = sorted(set(nodes))
+        index = {v: i for i, v in enumerate(keep)}
+        pairs = {
+            (index[s], index[d]): w
+            for (s, d), w in self.pairs.items()
+            if s in index and d in index
+        }
+        return TrafficDistribution(len(keep), pairs, name=f"{self.name}|restricted")
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficDistribution({self.name}, n={self.n}, "
+            f"support={self.support_size})"
+        )
+
+
+def symmetric_traffic(n: int) -> TrafficDistribution:
+    """The symmetric distribution: every ordered pair equally likely.
+
+    This is the distribution defining the machine bandwidth beta(M).
+    """
+    pairs = {(s, d): 1.0 for s in range(n) for d in range(n) if s != d}
+    return TrafficDistribution(n, pairs, name="symmetric")
+
+
+def quasi_symmetric_traffic(
+    n: int,
+    fraction: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> TrafficDistribution:
+    """A random quasi-symmetric distribution: a uniform random subset of
+    ``fraction * n * (n-1)`` ordered pairs, all with equal weight."""
+    check_positive_int(n, "n", minimum=2)
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = rng_from_seed(seed)
+    total = n * (n - 1)
+    want = max(1, int(round(fraction * total)))
+    chosen = rng.choice(total, size=want, replace=False)
+    pairs = {}
+    for code in np.asarray(chosen, dtype=np.int64):
+        s, r = divmod(int(code), n - 1)
+        d = r if r < s else r + 1
+        pairs[(s, d)] = 1.0
+    return TrafficDistribution(n, pairs, name=f"quasi_symmetric({fraction})")
+
+
+def permutation_traffic(
+    n: int, seed: int | np.random.Generator | None = None
+) -> TrafficDistribution:
+    """A random fixed-point-free permutation workload."""
+    rng = rng_from_seed(seed)
+    perm = np.arange(n)
+    while True:
+        rng.shuffle(perm)
+        if not np.any(perm == np.arange(n)):
+            break
+    pairs = {(i, int(perm[i])): 1.0 for i in range(n)}
+    return TrafficDistribution(n, pairs, name="permutation")
+
+
+def transpose_traffic(n: int) -> TrafficDistribution:
+    """Matrix-transpose workload on a square 0..n-1 index space.
+
+    Node ``r * side + c`` talks to ``c * side + r``; requires square n.
+    """
+    side = int(round(n**0.5))
+    if side * side != n:
+        raise ValueError(f"transpose traffic needs a square n, got {n}")
+    pairs = {}
+    for r in range(side):
+        for c in range(side):
+            s, d = r * side + c, c * side + r
+            if s != d:
+                pairs[(s, d)] = 1.0
+    return TrafficDistribution(n, pairs, name="transpose")
+
+
+def bit_reversal_traffic(n: int) -> TrafficDistribution:
+    """Bit-reversal permutation workload; requires n a power of two."""
+    bits = n.bit_length() - 1
+    if 2**bits != n:
+        raise ValueError(f"bit-reversal traffic needs a power-of-two n, got {n}")
+    pairs = {}
+    for s in range(n):
+        d = int(format(s, f"0{bits}b")[::-1], 2)
+        if s != d:
+            pairs[(s, d)] = 1.0
+    return TrafficDistribution(n, pairs, name="bit_reversal")
+
+
+def hot_spot_traffic(
+    n: int, hot: int = 0, hot_fraction: float = 0.5
+) -> TrafficDistribution:
+    """Background symmetric traffic plus a hot-spot destination.
+
+    ``hot_fraction`` of the total weight is aimed at node ``hot``.
+    """
+    check_positive_int(n, "n", minimum=2)
+    if not 0 <= hot < n:
+        raise ValueError(f"hot node {hot} out of range")
+    if not 1.0 / n <= hot_fraction < 1:
+        raise ValueError(
+            f"hot_fraction must be in [1/n, 1) = [{1.0 / n:.3f}, 1), "
+            f"got {hot_fraction}"
+        )
+    background = n * (n - 1)
+    pairs = {(s, d): 1.0 for s in range(n) for d in range(n) if s != d}
+    # Solve (n-1) + x = hot_fraction * (background + x) for the total
+    # extra weight x aimed at the hot node, so the hot node receives
+    # exactly hot_fraction of all traffic.
+    extra = (hot_fraction * background - (n - 1)) / (1 - hot_fraction)
+    boost = extra / (n - 1)
+    for s in range(n):
+        if s != hot:
+            pairs[(s, hot)] += boost
+    return TrafficDistribution(n, pairs, name=f"hot_spot({hot})")

@@ -1,0 +1,172 @@
+"""Traffic multigraphs and the ``K_{r,s}`` class of Lemma 9.
+
+A traffic multigraph ``T_pi`` materialises a (rational) traffic
+distribution as an undirected multigraph with integral edge weights
+proportional to pair frequencies, exactly as in Section 2 of the paper.
+``E(T)`` -- the number of simple edges, multiplicity-summed -- is the
+numerator of the graph-theoretic bandwidth ``beta(H, T) = E(T)/C(H, T)``.
+
+The class ``K_{r,s}`` (graphs on ``r`` vertices with ``Theta(r^2 s)``
+edges and pairwise multiplicity at most ``s``) is what the Lemma-9
+construction produces; :func:`in_K_class` checks membership with explicit
+constants so the gamma-construction can be validated numerically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.traffic.distribution import TrafficDistribution
+from repro.util import check_positive_int
+
+__all__ = [
+    "TrafficMultigraph",
+    "scale_multigraph",
+    "in_K_class",
+    "k_class_parameters",
+]
+
+
+class TrafficMultigraph:
+    """An undirected multigraph with integer edge multiplicities.
+
+    Stored as a weight dict over unordered pairs (a thin wrapper rather
+    than ``nx.MultiGraph`` -- multiplicities in the paper's limit
+    arguments grow large, and a weight dict is exact and compact).
+    """
+
+    def __init__(self, n: int, weights: dict[tuple[int, int], int] | None = None):
+        check_positive_int(n, "n")
+        self.n = n
+        self.weights: dict[tuple[int, int], int] = {}
+        for (u, v), w in (weights or {}).items():
+            self.add_edges(u, v, w)
+
+    @classmethod
+    def from_distribution(
+        cls, dist: TrafficDistribution, precision: int = 10**6
+    ) -> "TrafficMultigraph":
+        """Materialise a distribution as integral multiplicities.
+
+        Real-valued frequencies are first approximated by rationals with
+        denominator at most ``precision``, then scaled to integers by the
+        common denominator -- the paper's recipe verbatim.
+        """
+        fracs: dict[tuple[int, int], Fraction] = {}
+        for (s, d), w in dist.pairs.items():
+            key = (min(s, d), max(s, d))
+            fracs[key] = fracs.get(key, Fraction(0)) + Fraction(w).limit_denominator(
+                precision
+            )
+        if not fracs:
+            raise ValueError("empty distribution")
+        common = 1
+        for f in fracs.values():
+            common = common * f.denominator // _gcd(common, f.denominator)
+        g = _gcd_all(int(f * common) for f in fracs.values())
+        tm = cls(dist.n)
+        for (u, v), f in fracs.items():
+            tm.add_edges(u, v, int(f * common) // g)
+        return tm
+
+    def add_edges(self, u: int, v: int, multiplicity: int = 1) -> None:
+        """Add ``multiplicity`` parallel edges between u and v."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+        if u == v:
+            raise ValueError("self-loops are not traffic")
+        if multiplicity < 0 or int(multiplicity) != multiplicity:
+            raise ValueError(f"multiplicity must be a non-negative int, got {multiplicity}")
+        if multiplicity == 0:
+            return
+        key = (min(u, v), max(u, v))
+        self.weights[key] = self.weights.get(key, 0) + int(multiplicity)
+
+    @property
+    def num_simple_edges(self) -> int:
+        """``E(T)``: sum of multiplicities over all edges."""
+        return sum(self.weights.values())
+
+    @property
+    def num_distinct_pairs(self) -> int:
+        """Number of vertex pairs with at least one edge."""
+        return len(self.weights)
+
+    @property
+    def max_multiplicity(self) -> int:
+        """Largest multiplicity on any single pair."""
+        return max(self.weights.values()) if self.weights else 0
+
+    def support_nodes(self) -> set[int]:
+        """Vertices touched by at least one edge."""
+        out: set[int] = set()
+        for u, v in self.weights:
+            out.add(u)
+            out.add(v)
+        return out
+
+    def to_networkx(self) -> nx.Graph:
+        """Simple weighted graph view (weight = multiplicity)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for (u, v), w in self.weights.items():
+            g.add_edge(u, v, weight=w)
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMultigraph(n={self.n}, pairs={self.num_distinct_pairs}, "
+            f"E={self.num_simple_edges})"
+        )
+
+
+def scale_multigraph(tm: TrafficMultigraph, x: int) -> TrafficMultigraph:
+    """The paper's ``xG``: multiply every multiplicity by scalar ``x``."""
+    check_positive_int(x, "x")
+    return TrafficMultigraph(
+        tm.n, {pair: w * x for pair, w in tm.weights.items()}
+    )
+
+
+def k_class_parameters(tm: TrafficMultigraph) -> tuple[int, int]:
+    """Return ``(r, s)`` such that ``tm`` is a candidate member of
+    ``K_{r,s}``: r = #support vertices, s = max multiplicity."""
+    return len(tm.support_nodes()), tm.max_multiplicity
+
+
+def in_K_class(
+    tm: TrafficMultigraph,
+    r: int,
+    s: int,
+    density_lo: float = 0.01,
+    density_hi: float = 100.0,
+) -> bool:
+    """Membership test for the paper's class ``K_{r,s}``.
+
+    A graph is in ``K_{r,s}`` iff it has ``r`` vertices, ``Theta(r^2 s)``
+    edges, and no vertex pair carries more than ``s`` edges.  Theta is
+    checked with the explicit constants ``[density_lo, density_hi]``.
+    """
+    check_positive_int(r, "r")
+    check_positive_int(s, "s")
+    if len(tm.support_nodes()) > r:
+        return False
+    if tm.max_multiplicity > s:
+        return False
+    e = tm.num_simple_edges
+    return density_lo * r * r * s <= e <= density_hi * r * r * s
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _gcd_all(values) -> int:
+    g = 0
+    for v in values:
+        g = _gcd(g, v)
+    return max(g, 1)

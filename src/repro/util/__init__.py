@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG, integer math, validation, tables.
+
+These helpers are deliberately tiny and dependency-light; every other
+subpackage builds on them.
+"""
+
+from repro.util.intmath import (
+    ceil_div,
+    ilog2,
+    is_perfect_power,
+    is_power_of,
+    is_power_of_two,
+    isqrt_exact,
+)
+from repro.util.rng import rng_from_seed
+from repro.util.tables import format_table
+from repro.util.validation import check_positive_int, check_probability
+
+__all__ = [
+    "ceil_div",
+    "check_positive_int",
+    "check_probability",
+    "format_table",
+    "ilog2",
+    "is_perfect_power",
+    "is_power_of",
+    "is_power_of_two",
+    "isqrt_exact",
+    "rng_from_seed",
+]

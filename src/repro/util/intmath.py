@@ -1,0 +1,65 @@
+"""Exact integer math used by topology generators and the asymptotics engine."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "is_power_of",
+    "is_power_of_two",
+    "is_perfect_power",
+    "isqrt_exact",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for integers, exact (no float round-off)."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def ilog2(n: int) -> int:
+    """Floor of log2(n) for a positive integer, exact."""
+    if n <= 0:
+        raise ValueError(f"ilog2 requires a positive integer, got {n}")
+    return n.bit_length() - 1
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is 2**k for some integer k >= 0."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def is_power_of(n: int, base: int) -> bool:
+    """True iff ``n`` is ``base**k`` for some integer k >= 0 (exact)."""
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if n < 1:
+        return False
+    while n % base == 0:
+        n //= base
+    return n == 1
+
+
+def is_perfect_power(n: int, exponent: int) -> bool:
+    """True iff ``n == r**exponent`` for some integer r >= 1 (exact)."""
+    if exponent < 1:
+        raise ValueError(f"exponent must be >= 1, got {exponent}")
+    if n < 1:
+        return False
+    root = round(n ** (1.0 / exponent))
+    for r in (root - 1, root, root + 1):
+        if r >= 1 and r**exponent == n:
+            return True
+    return False
+
+
+def isqrt_exact(n: int) -> int:
+    """Integer square root of a perfect square; raises if ``n`` is not one."""
+    r = math.isqrt(n)
+    if r * r != n:
+        raise ValueError(f"{n} is not a perfect square")
+    return r

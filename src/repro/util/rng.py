@@ -1,0 +1,30 @@
+"""Deterministic random-number helpers.
+
+All stochastic code in the library (random traffic, Valiant routing,
+random-regular expanders, multibutterfly splitters) threads an explicit
+``numpy.random.Generator`` so that every experiment is reproducible from a
+seed.  ``rng_from_seed`` is the single place that turns "a seed or an
+existing generator or None" into a generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from_seed"]
+
+_DEFAULT_SEED = 0x5_94_1994  # SPAA '94
+
+
+def rng_from_seed(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    * ``None``     -> a fixed library-wide default seed (deterministic runs).
+    * ``int``      -> ``np.random.default_rng(seed)``.
+    * a Generator  -> returned unchanged (lets callers share one stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)

@@ -1,0 +1,22 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+__all__ = ["check_positive_int", "check_probability"]
+
+
+def check_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an int >= ``minimum``; return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1]; return it as float."""
+    p = float(value)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return p

@@ -1,0 +1,295 @@
+"""Tests for the exact asymptotic algebra (LogPoly, solver, bounds)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asymptotics import (
+    BigO,
+    Bound,
+    LOG_LEVELS,
+    LogPoly,
+    Omega,
+    Theta,
+    solve_monomial,
+    substitute,
+)
+from repro.asymptotics.solve import UnsolvableError
+
+# Strategy: small rational exponents over the first 3 levels (the ones the
+# paper's tables use), nonzero leading behaviour.
+_exps = st.fractions(
+    min_value=-3, max_value=3, max_denominator=4
+)
+
+
+def _logpoly(levels=3):
+    return st.lists(_exps, min_size=0, max_size=levels).map(LogPoly.from_exponents)
+
+
+class TestConstruction:
+    def test_one_is_constant(self):
+        assert LogPoly.one().is_constant
+
+    def test_n_factory(self):
+        p = LogPoly.n(Fraction(1, 2))
+        assert p.exponents[0] == Fraction(1, 2)
+
+    def test_log_factory_levels(self):
+        p = LogPoly.log(level=2, power=3)
+        assert p.exponents[2] == 3
+        assert p.exponents[0] == 0
+
+    def test_log_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            LogPoly.log(level=LOG_LEVELS)
+        with pytest.raises(ValueError):
+            LogPoly.log(level=0)
+
+    def test_too_many_levels(self):
+        with pytest.raises(ValueError):
+            LogPoly([1] * (LOG_LEVELS + 1))
+
+    def test_float_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            LogPoly([0.5])
+
+    def test_immutable_and_hashable(self):
+        p = LogPoly.n()
+        assert hash(p) == hash(LogPoly.n())
+        assert {p, LogPoly.n()} == {p}
+
+
+class TestAlgebra:
+    def test_mul(self):
+        assert LogPoly.n() * LogPoly.log() == LogPoly.from_exponents([1, 1])
+
+    def test_div(self):
+        assert LogPoly.n() / LogPoly.n() == LogPoly.one()
+
+    def test_pow(self):
+        assert LogPoly.n(2) ** Fraction(1, 2) == LogPoly.n()
+
+    def test_inverse(self):
+        p = LogPoly.from_exponents([1, -2, 3])
+        assert p * p.inverse() == LogPoly.one()
+
+    @given(_logpoly(), _logpoly())
+    def test_mul_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(_logpoly(), _logpoly(), _logpoly())
+    def test_mul_associates(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(_logpoly())
+    def test_identity(self, a):
+        assert a * LogPoly.one() == a
+
+    @given(_logpoly())
+    def test_inverse_law(self, a):
+        assert a * a.inverse() == LogPoly.one()
+
+    @given(_logpoly(), _logpoly())
+    def test_div_is_mul_inverse(self, a, b):
+        assert a / b == a * b.inverse()
+
+
+class TestOrdering:
+    def test_n_beats_polylog(self):
+        assert LogPoly.n(Fraction(1, 10)) > LogPoly.log(power=100)
+
+    def test_lg_beats_lglg(self):
+        assert LogPoly.log() > LogPoly.log(level=2, power=50)
+
+    def test_constant_middle(self):
+        assert LogPoly.log(power=-1) < LogPoly.one() < LogPoly.log()
+
+    def test_tends_to_infinity(self):
+        assert LogPoly.n().tends_to_infinity
+        assert not LogPoly.one().tends_to_infinity
+        assert (LogPoly.n(-1) * LogPoly.log(power=5)).tends_to_zero
+
+    @given(_logpoly(), _logpoly())
+    def test_total_order(self, a, b):
+        assert (a < b) + (a == b) + (a > b) == 1
+
+    @given(_logpoly(), _logpoly())
+    def test_order_respects_mul(self, a, b):
+        # a < b  iff  a/b < 1
+        assert (a < b) == (a / b < LogPoly.one())
+
+    @given(_logpoly(), _logpoly())
+    def test_dominance_matches_numeric(self, a, b):
+        """Eventual dominance agrees with log-space evaluation at a
+        tower-huge size n = 2^(2^400), where the log levels are separated
+        by far more than any exponent in the strategy can bridge."""
+        if a == b:
+            return
+        weights = (2.0**400, 400.0, math.log2(400.0))  # lg of levels 0..2
+        diff = a / b  # exact exponent subtraction avoids float absorption
+        val = sum(float(e) * w for e, w in zip(diff.exponents, weights))
+        assert (a < b) == (val < 0)
+
+
+class TestEvaluate:
+    def test_n(self):
+        assert LogPoly.n().evaluate(1024) == 1024
+
+    def test_lg(self):
+        assert LogPoly.log().evaluate(1024) == 10
+
+    def test_lglg(self):
+        assert LogPoly.log(level=2).evaluate(2**16) == 4
+
+    def test_combined(self):
+        v = (LogPoly.n() / LogPoly.log()).evaluate(256)
+        assert v == pytest.approx(256 / 8)
+
+    def test_requires_big_n(self):
+        with pytest.raises(ValueError):
+            LogPoly.n().evaluate(1)
+
+    def test_deep_level_requires_bigger_n(self):
+        with pytest.raises(ValueError):
+            LogPoly.log(level=3).evaluate(3)
+
+    def test_unused_deep_levels_ignored(self):
+        # lg(n) at n=3 works even though lglglg(3) would not.
+        assert LogPoly.log().evaluate(3) == pytest.approx(math.log2(3))
+
+    @given(_logpoly())
+    def test_multiplicativity_numeric(self, a):
+        n = 2.0**20
+        assert (a * a).evaluate(n) == pytest.approx(a.evaluate(n) ** 2, rel=1e-9)
+
+
+class TestDisplay:
+    def test_one(self):
+        assert str(LogPoly.one()) == "1"
+
+    def test_simple(self):
+        assert str(LogPoly.n()) == "n"
+
+    def test_fraction_power(self):
+        assert str(LogPoly.n(Fraction(1, 2))) == "n^(1/2)"
+
+    def test_quotient(self):
+        assert str(LogPoly.n() / LogPoly.log()) == "n / lg(n)"
+
+    def test_multi_denominator_parenthesised(self):
+        s = str(LogPoly.one() / (LogPoly.n() * LogPoly.log()))
+        assert s == "1 / (n lg(n))"
+
+
+class TestSolve:
+    def test_debruijn_on_mesh(self):
+        # sqrt(m) = lg n  =>  m = lg^2 n
+        m = solve_monomial(LogPoly.n(Fraction(1, 2)), LogPoly.log())
+        assert m == LogPoly.log(power=2)
+
+    def test_xtree_host(self):
+        # lg(m)/m = 1/lg(n)  =>  m = lg n lglg n
+        f = LogPoly.log() / LogPoly.n()
+        m = solve_monomial(f, LogPoly.log(power=-1))
+        assert m == LogPoly.log() * LogPoly.log(level=2)
+
+    def test_pure_log_equation(self):
+        # lg m = lg n  =>  m = n
+        m = solve_monomial(LogPoly.log(), LogPoly.log())
+        assert m == LogPoly.n()
+
+    def test_exponential_solution_rejected(self):
+        # lg m = n has no log-polynomial solution
+        with pytest.raises(UnsolvableError):
+            solve_monomial(LogPoly.log(), LogPoly.n())
+
+    def test_constant_f_rejected(self):
+        with pytest.raises(UnsolvableError):
+            solve_monomial(LogPoly.one(), LogPoly.n())
+
+    def test_sign_mismatch_rejected(self):
+        # m = 1/n has no solution tending to infinity
+        with pytest.raises(UnsolvableError):
+            solve_monomial(LogPoly.n(), LogPoly.n(-1))
+
+    def test_inverse_relation(self):
+        # 1/m = (lg n)/n  =>  m = n/lg n
+        m = solve_monomial(LogPoly.n(-1), LogPoly.log() / LogPoly.n())
+        assert m == LogPoly.n() / LogPoly.log()
+
+    @given(
+        st.fractions(min_value=Fraction(1, 4), max_value=3, max_denominator=4),
+        st.fractions(min_value=-2, max_value=2, max_denominator=4),
+        st.fractions(min_value=Fraction(1, 4), max_value=3, max_denominator=4),
+        st.fractions(min_value=-2, max_value=2, max_denominator=4),
+    )
+    def test_roundtrip_level0(self, p0, p1, a0, a1):
+        """substitute(f, solve(f, t)) == t for level-0-led f and t."""
+        f = LogPoly.from_exponents([p0, p1])
+        t = LogPoly.from_exponents([a0, a1])
+        m = solve_monomial(f, t)
+        assert m.tends_to_infinity
+        assert substitute(f, m) == t
+
+    @given(
+        st.fractions(min_value=-3, max_value=Fraction(-1, 4), max_denominator=4),
+        st.fractions(min_value=-3, max_value=Fraction(-1, 4), max_denominator=4),
+    )
+    def test_roundtrip_decreasing(self, p0, a0):
+        """Both sides decreasing (the host-size shape): roundtrip holds."""
+        f = LogPoly.from_exponents([p0, 1])
+        t = LogPoly.from_exponents([a0, -1])
+        m = solve_monomial(f, t)
+        assert m.tends_to_infinity
+        assert substitute(f, m) == t
+
+
+class TestSubstitute:
+    def test_identity_substitution(self):
+        f = LogPoly.from_exponents([2, -1])
+        assert substitute(f, LogPoly.n()) == f
+
+    def test_polylog_substitution(self):
+        # f(m) = sqrt(m), m = lg^2 n  ->  lg n
+        f = LogPoly.n(Fraction(1, 2))
+        assert substitute(f, LogPoly.log(power=2)) == LogPoly.log()
+
+    def test_log_shift(self):
+        # f(m) = lg m, m = lg n  ->  lglg n
+        assert substitute(LogPoly.log(), LogPoly.log()) == LogPoly.log(level=2)
+
+    def test_constant_target(self):
+        assert substitute(LogPoly.log(), LogPoly.one()) == LogPoly.one()
+
+    def test_vanishing_target_rejected(self):
+        with pytest.raises(UnsolvableError):
+            substitute(LogPoly.n(), LogPoly.n(-1))
+
+    def test_tower_overflow(self):
+        deep = LogPoly.log(level=4)
+        with pytest.raises(UnsolvableError):
+            substitute(LogPoly.log(), deep)
+
+
+class TestBounds:
+    def test_theta_str(self):
+        assert str(Theta(LogPoly.n())) == "Theta(n)"
+
+    def test_bigo_render_var(self):
+        assert BigO(LogPoly.log(power=2)).render("|G|") == "O(lg(|G|)^2)"
+
+    def test_omega(self):
+        assert str(Omega(LogPoly.one())) == "Omega(1)"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Bound("tilde", LogPoly.n())
+
+    def test_evaluate(self):
+        assert Theta(LogPoly.n()).evaluate(64) == 64

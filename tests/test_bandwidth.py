@@ -1,0 +1,208 @@
+"""Tests for the bandwidth estimators (formulas, brackets, cuts, Lemma 10).
+
+The load-bearing checks are the Theta-agreement tests: for each family
+the measured bracket must contain (up to a modest constant) the Table-4
+closed form, and the growth *exponent* fitted from measurements across
+sizes must match the formula's.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandwidth import (
+    algebraic_connectivity,
+    beta_bracket,
+    beta_formula,
+    beta_lower,
+    beta_upper,
+    beta_value,
+    bisection_width_upper,
+    cheeger_bounds,
+    delta_formula,
+    delta_value,
+    flux_beta_upper,
+    lemma10_beta_upper,
+    routing_congestion,
+)
+from repro.topologies import (
+    build_de_bruijn,
+    build_linear_array,
+    build_mesh,
+    build_ring,
+    build_tree,
+    build_xtree,
+    family_spec,
+)
+from repro.traffic import TrafficMultigraph
+
+
+class TestFormulas:
+    def test_beta_formula_mesh(self):
+        assert str(beta_formula("mesh_2")) == "n^(1/2)"
+
+    def test_beta_value(self):
+        assert beta_value("mesh_2", 256) == 16.0
+
+    def test_delta_formula_tree(self):
+        assert str(delta_formula("tree")) == "lg(n)"
+
+    def test_delta_value(self):
+        assert delta_value("linear_array", 100) == 100
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            beta_formula("nonexistent")
+
+
+class TestRoutingCongestion:
+    def test_linear_array_exact(self):
+        """Middle link of an n-array carries ~n^2/4 unordered pairs."""
+        n = 16
+        c = routing_congestion(build_linear_array(n))
+        assert c == n * n // 4
+
+    def test_tree_root_cut(self):
+        m = build_tree(3)  # 15 nodes, root splits 7/7(+root)
+        c = routing_congestion(m)
+        assert 7 * 8 <= c <= 8 * 8
+
+    def test_explicit_traffic(self):
+        m = build_linear_array(8)
+        tm = TrafficMultigraph(8, {(0, 7): 3, (1, 6): 2})
+        assert routing_congestion(m, tm) == 5
+
+    def test_congestion_positive(self, small_machines):
+        for m in small_machines.values():
+            assert routing_congestion(m) >= 1
+
+
+class TestBrackets:
+    def test_bracket_order(self, small_machines):
+        for m in small_machines.values():
+            br = beta_bracket(m)
+            assert br.lower <= br.upper, m.name
+
+    def test_bracket_matches_lower_upper(self, mesh8):
+        br = beta_bracket(mesh8)
+        assert br.lower == pytest.approx(beta_lower(mesh8))
+        assert br.upper == pytest.approx(beta_upper(mesh8))
+
+    def test_geometric_mid_inside(self, mesh8):
+        br = beta_bracket(mesh8)
+        assert br.lower <= br.geometric_mid <= br.upper
+
+    @pytest.mark.parametrize(
+        "key,size",
+        [
+            ("linear_array", 64),
+            ("tree", 63),
+            ("xtree", 63),
+            ("mesh_2", 64),
+            ("de_bruijn", 64),
+            ("butterfly", 64),
+        ],
+    )
+    def test_formula_within_constant_of_bracket(self, key, size):
+        """Table-4 closed form lands within ~6x of the certified bracket."""
+        m = family_spec(key).build_with_size(size)
+        br = beta_bracket(m)
+        form = beta_value(key, m.num_nodes)
+        assert br.lower / 6 <= form <= br.upper * 6, (key, form, br)
+
+    def test_exponent_fit_mesh(self):
+        """beta(mesh_2) ~ sqrt(n): fitted exponent in [0.35, 0.7]."""
+        sizes, values = [], []
+        for side in (6, 10, 14, 18):
+            m = build_mesh(side, 2)
+            br = beta_bracket(m)
+            sizes.append(m.num_nodes)
+            values.append(br.geometric_mid)
+        slope = np.polyfit(np.log(sizes), np.log(values), 1)[0]
+        assert 0.35 <= slope <= 0.7
+
+    def test_exponent_fit_linear_array(self):
+        """beta(array) ~ 1: fitted exponent near 0."""
+        sizes, values = [], []
+        for n in (16, 32, 64, 128):
+            br = beta_bracket(build_linear_array(n))
+            sizes.append(n)
+            values.append(br.geometric_mid)
+        slope = np.polyfit(np.log(sizes), np.log(values), 1)[0]
+        assert abs(slope) <= 0.2
+
+    def test_exponent_fit_de_bruijn(self):
+        """beta(de Bruijn) ~ n/lg n: exponent near 1 after lg correction."""
+        sizes, values = [], []
+        for order in (4, 5, 6, 7):
+            m = build_de_bruijn(order)
+            br = beta_bracket(m)
+            sizes.append(m.num_nodes)
+            values.append(br.geometric_mid * order)  # multiply back lg n
+        slope = np.polyfit(np.log(sizes), np.log(values), 1)[0]
+        assert 0.75 <= slope <= 1.25
+
+
+class TestCuts:
+    def test_bisection_linear_array(self):
+        assert bisection_width_upper(build_linear_array(16)) == 1
+
+    def test_bisection_ring(self):
+        assert bisection_width_upper(build_ring(16)) == 2
+
+    def test_bisection_mesh(self):
+        m = build_mesh(8, 2)
+        assert 8 <= bisection_width_upper(m) <= 12
+
+    def test_bisection_tree(self):
+        assert bisection_width_upper(build_tree(4)) <= 2
+
+    def test_flux_upper_consistent(self, mesh8):
+        assert flux_beta_upper(mesh8) == 2.0 * bisection_width_upper(mesh8)
+
+    def test_flux_bounds_measured_rate(self, mesh8):
+        """The operational rate never exceeds ~the flux bound."""
+        from repro.routing import measure_bandwidth
+
+        rate = measure_bandwidth(mesh8, seed=0).rate
+        assert rate <= 1.5 * flux_beta_upper(mesh8)
+
+
+class TestSpectral:
+    def test_lambda2_positive_connected(self, mesh8):
+        assert algebraic_connectivity(mesh8) > 0
+
+    def test_lambda2_path_formula(self):
+        """lambda_2 of a path = 2(1 - cos(pi/n))."""
+        n = 12
+        lam = algebraic_connectivity(build_linear_array(n))
+        assert lam == pytest.approx(2 * (1 - math.cos(math.pi / n)), rel=1e-6)
+
+    def test_cheeger_order(self, mesh8):
+        lo, hi = cheeger_bounds(mesh8)
+        assert 0 <= lo <= hi
+
+    def test_expander_well_connected(self):
+        m = family_spec("expander").build_with_size(64)
+        assert algebraic_connectivity(m) > 0.2
+
+
+class TestLemma10:
+    def test_fixed_degree_ceiling(self):
+        """Measured beta lower bound respects the Lemma-10 ceiling."""
+        for build in (lambda: build_de_bruijn(6), lambda: build_mesh(8, 2)):
+            m = build()
+            assert beta_lower(m) <= 2 * lemma10_beta_upper(m)
+
+    def test_value_de_bruijn(self):
+        m = build_de_bruijn(6)
+        ub = lemma10_beta_upper(m)
+        # E ~ 2n, avg distance ~ lg n - small: E/avg ~ 2n/lgn-ish
+        assert 10 <= ub <= 80
+
+    def test_array_ceiling_small(self):
+        m = build_linear_array(64)
+        assert lemma10_beta_upper(m) <= 4  # E/avgdist ~ n/(n/3) = 3

@@ -1,0 +1,115 @@
+"""Tests for the prior-work baseline bounds (Koch et al., dilation)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.asymptotics import LogPoly
+from repro.baselines import (
+    bhatt_butterfly_dilation_bound,
+    koch_butterfly_on_mesh_bound,
+    koch_mesh_on_mesh_bound,
+    koch_tree_on_mesh_bound,
+    ternary_in_binary_dilation_bound,
+)
+
+
+class TestKochDistance:
+    def test_tree_on_mesh2_shape(self):
+        b = koch_tree_on_mesh_bound(2)
+        assert b == (LogPoly.n() / LogPoly.log(power=2)) ** Fraction(1, 3)
+
+    def test_tree_on_mesh1(self):
+        b = koch_tree_on_mesh_bound(1)
+        assert b == (LogPoly.n() / LogPoly.log()) ** Fraction(1, 2)
+
+    def test_grows_without_bound(self):
+        assert koch_tree_on_mesh_bound(3).tends_to_infinity
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            koch_tree_on_mesh_bound(0)
+
+    def test_weaker_than_bandwidth_bound_for_arrays(self):
+        """For a tree guest the bandwidth bound is trivial (Theta(1) vs
+        Theta(1)); the distance bound is the stronger one -- the expected
+        complementarity."""
+        from repro.theory import symbolic_slowdown
+
+        bw = symbolic_slowdown("tree", "mesh_2")
+        assert bw.beta_guest / bw.beta_host == LogPoly.n(Fraction(-1, 2))
+        assert koch_tree_on_mesh_bound(2).tends_to_infinity
+
+
+class TestKochCongestion:
+    def test_butterfly_on_mesh_exponential(self):
+        # 2^(0.1 * sqrt(m)): doubling sqrt(m) squares the bound.
+        assert koch_butterfly_on_mesh_bound(10000, k=2) > 1000
+        b100 = koch_butterfly_on_mesh_bound(100, k=2)
+        b400 = koch_butterfly_on_mesh_bound(400, k=2)
+        assert b400 == pytest.approx(b100**2)
+
+    def test_only_polylog_hosts_efficient(self):
+        """2^(c m^(1/k)) <= n forces m = O(lg^k n): the same shape as the
+        bandwidth Table-3 cell."""
+        import math
+
+        n = 2**20
+        c = 0.1
+        # Largest m with bound <= n:
+        m_max = int((math.log2(n) / c) ** 2)
+        assert koch_butterfly_on_mesh_bound(m_max, k=2) >= n * 0.9
+        # ... which is polylog in n:
+        assert m_max <= (math.log2(n)) ** 2 / c**2 + 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            koch_butterfly_on_mesh_bound(0)
+
+    def test_mesh_on_mesh(self):
+        b = koch_mesh_on_mesh_bound(3, 2)
+        assert b == LogPoly.n(Fraction(1, 2))
+
+    def test_mesh_on_mesh_requires_j_lt_k(self):
+        with pytest.raises(ValueError):
+            koch_mesh_on_mesh_bound(2, 2)
+
+    def test_mesh_on_mesh_matches_bandwidth_shape(self):
+        """Koch's m^((k-j)/j) at the max host size m = n^(j/k) equals the
+        bandwidth slowdown n^((k-j)/k) -- the two methods agree here."""
+        from repro.asymptotics import substitute
+        from repro.theory import max_host_size
+
+        k, j = 3, 2
+        koch = koch_mesh_on_mesh_bound(k, j)  # in host size m
+        m_star = max_host_size(f"mesh_{k}", f"mesh_{j}").expr  # n^(2/3)
+        slow_at_mstar = substitute(koch, m_star)
+        assert slow_at_mstar == LogPoly.n(Fraction(k - j, k))
+
+
+class TestDilationBounds:
+    def test_ternary_in_binary(self):
+        assert ternary_in_binary_dilation_bound() == LogPoly.log(level=3)
+
+    def test_xtree_into_butterfly(self):
+        assert bhatt_butterfly_dilation_bound("xtree") == LogPoly.log(level=2)
+
+    def test_mesh_into_butterfly(self):
+        assert bhatt_butterfly_dilation_bound("mesh_2") == LogPoly.log()
+
+    def test_unsupported_guest(self):
+        with pytest.raises(ValueError):
+            bhatt_butterfly_dilation_bound("de_bruijn")
+
+    def test_redundancy_evades_dilation(self):
+        """The paper's point: mesh-into-butterfly dilation is Omega(lg n),
+        but the *bandwidth* bound for a mesh guest on a butterfly host is
+        O(1) -- redundant emulations may be efficient where embeddings
+        cannot."""
+        from repro.theory import max_host_size
+
+        dil = bhatt_butterfly_dilation_bound("mesh_2")
+        assert dil.tends_to_infinity
+        assert max_host_size("mesh_2", "butterfly").expr == LogPoly.n()

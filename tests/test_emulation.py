@@ -1,0 +1,247 @@
+"""Tests for circuits, collapse (Lemma 11), gamma (Lemma 9), emulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulation import (
+    Circuit,
+    CircuitNode,
+    Emulator,
+    balanced_assignment,
+    build_decaying_redundant_circuit,
+    build_gamma,
+    build_nonredundant_circuit,
+    build_redundant_circuit,
+    collapse_circuit,
+    random_assignment,
+)
+from repro.topologies import (
+    build_de_bruijn,
+    build_linear_array,
+    build_mesh,
+    build_ring,
+    build_tree,
+)
+
+
+class TestCircuit:
+    def test_nonredundant_counts(self):
+        g = build_ring(8)
+        c = build_nonredundant_circuit(g, 5)
+        assert c.num_nodes == 8 * 6
+        # each node at levels 1..5 has 1 identity + 2 neighbour inputs
+        assert c.num_arcs == 8 * 5 * 3
+
+    def test_nonredundant_valid_and_efficient(self):
+        c = build_nonredundant_circuit(build_ring(8), 5)
+        assert c.is_valid()
+        assert c.is_efficient()
+        assert c.is_homogeneous()
+        assert c.work_ratio() == 1.0
+
+    def test_redundant_counts(self):
+        c = build_redundant_circuit(build_ring(6), 4, duplicity=3)
+        assert c.num_nodes == 6 * 5 * 3
+        assert c.is_valid() and c.is_efficient()
+
+    def test_decaying_duplicity(self):
+        c = build_decaying_redundant_circuit(build_ring(6), 4, initial_duplicity=4)
+        assert c.class_duplicity(0, 0) == 4
+        assert c.class_duplicity(0, 2) == 1
+        assert c.is_valid()
+        assert not c.is_homogeneous()
+
+    def test_validity_detects_missing_neighbour_input(self):
+        g = build_linear_array(3)
+        c = Circuit(g, 1)
+        for u in g.nodes():
+            c.add_class(u, 0, 1)
+            c.add_class(u, 1, 1)
+        # Wire only identity arcs: neighbour inputs missing -> invalid.
+        for u in g.nodes():
+            c.add_arc(CircuitNode(u, 0, 0), CircuitNode(u, 1, 0))
+        assert not c.is_valid()
+
+    def test_validity_identity_optional(self):
+        g = build_linear_array(2)
+        c = Circuit(g, 1)
+        for u in g.nodes():
+            c.add_class(u, 0, 1)
+            c.add_class(u, 1, 1)
+        c.add_arc(CircuitNode(0, 0, 0), CircuitNode(1, 1, 0))
+        c.add_arc(CircuitNode(1, 0, 0), CircuitNode(0, 1, 0))
+        assert not c.is_valid(require_identity=True)
+        assert c.is_valid(require_identity=False)
+
+    def test_arc_must_advance_level(self):
+        c = Circuit(build_ring(4), 2)
+        c.add_class(0, 0, 1)
+        c.add_class(1, 0, 1)
+        with pytest.raises(ValueError):
+            c.add_arc(CircuitNode(0, 0, 0), CircuitNode(1, 0, 0))
+
+    def test_routing_arc_needs_guest_link(self):
+        g = build_linear_array(4)  # 0-1-2-3: no (0,3) link
+        c = Circuit(g, 1)
+        for u in g.nodes():
+            c.add_class(u, 0, 1)
+            c.add_class(u, 1, 1)
+        with pytest.raises(ValueError):
+            c.add_arc(CircuitNode(0, 0, 0), CircuitNode(3, 1, 0))
+
+    def test_undeclared_node_rejected(self):
+        c = Circuit(build_ring(4), 1)
+        c.add_class(0, 0, 1)
+        with pytest.raises(ValueError):
+            c.add_arc(CircuitNode(0, 0, 0), CircuitNode(1, 1, 0))
+
+    def test_duplicate_class_rejected(self):
+        c = Circuit(build_ring(4), 1)
+        c.add_class(0, 0, 2)
+        with pytest.raises(ValueError):
+            c.add_class(0, 0, 1)
+
+    def test_inefficient_circuit_detected(self):
+        c = build_redundant_circuit(build_ring(4), 2, duplicity=16)
+        assert not c.is_efficient(constant=8.0)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_node_count_formula(self, depth, dup):
+        g = build_ring(5)
+        c = build_redundant_circuit(g, depth, duplicity=dup)
+        assert c.num_nodes == 5 * (depth + 1) * dup
+
+
+class TestCollapse:
+    def test_balanced_load(self):
+        c = build_nonredundant_circuit(build_ring(8), 4)
+        tm, load = collapse_circuit(c, balanced_assignment(c, 4))
+        assert tm.n == 4
+        assert load == 2 * 5  # 2 guests/supervertex * 5 levels
+
+    def test_self_loops_dropped(self):
+        """Collapsing everything to one super-vertex leaves no edges."""
+        c = build_nonredundant_circuit(build_ring(6), 3)
+        tm, load = collapse_circuit(c, {n: 0 for n in c.nodes()})
+        assert tm.num_simple_edges == 0
+        assert load == c.num_nodes
+
+    def test_identity_arcs_between_supervertices_counted(self):
+        c = build_nonredundant_circuit(build_linear_array(2), 1)
+        # Split the two guest vertices: each identity arc stays inside,
+        # each routing arc crosses.
+        assign = {n: n.vertex for n in c.nodes()}
+        tm, _ = collapse_circuit(c, assign)
+        assert tm.num_simple_edges == 2  # (0->1) and (1->0) routing arcs
+
+    def test_random_assignment_seeded(self):
+        c = build_nonredundant_circuit(build_ring(8), 3)
+        a = random_assignment(c, 4, seed=1)
+        b = random_assignment(c, 4, seed=1)
+        assert a == b
+
+    def test_lemma11_bandwidth_preserved_qualitatively(self):
+        """Collapsing a deep circuit onto m super-vertices still leaves
+        Omega(t) multigraph edges per pair of adjacent blocks."""
+        t = 6
+        c = build_nonredundant_circuit(build_ring(12), t)
+        tm, _ = collapse_circuit(c, balanced_assignment(c, 4))
+        # Ring cut: two block boundaries, each crossed twice per level.
+        assert tm.num_simple_edges >= 2 * t
+
+    def test_empty_assignment_rejected(self):
+        c = build_nonredundant_circuit(build_ring(4), 1)
+        with pytest.raises(ValueError):
+            collapse_circuit(c, {})
+
+
+class TestGamma:
+    def test_ring_construction_sane(self):
+        gc = build_gamma(build_ring(12))
+        assert gc.max_multiplicity == 1
+        assert gc.num_gamma_edges > 0
+        assert gc.congestion > 0
+        assert gc.num_s_nodes == 12 * gc.window
+
+    def test_quasi_symmetry_density(self):
+        """gamma has Theta(r^2) edges over its r vertices."""
+        gc = build_gamma(build_ring(16))
+        assert gc.quasi_symmetry() >= 0.005
+
+    def test_lemma9_ratio_bounded_below(self):
+        """beta(Phi, gamma) >= c * t * beta(G) with c not tiny."""
+        for build in (lambda: build_ring(16), lambda: build_de_bruijn(5)):
+            gc = build_gamma(build())
+            assert gc.bandwidth_ratio() >= 0.1, gc
+
+    def test_ratio_stable_across_sizes(self):
+        """The Lemma-9 ratio does not collapse as the guest grows."""
+        ratios = [
+            build_gamma(build_ring(n)).bandwidth_ratio() for n in (8, 16, 24)
+        ]
+        assert min(ratios) >= 0.3 * max(ratios)
+
+    def test_depth_must_exceed_cutoff(self):
+        with pytest.raises(ValueError):
+            build_gamma(build_ring(16), depth=2)
+
+    def test_guard_on_huge_instances(self):
+        with pytest.raises(RuntimeError):
+            build_gamma(build_de_bruijn(7), max_path_steps=1000)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            build_gamma(build_ring(8), alpha=0)
+
+    def test_beta_gamma_lower_formula(self):
+        gc = build_gamma(build_ring(12))
+        assert gc.beta_gamma_lower == pytest.approx(
+            gc.num_gamma_edges / gc.congestion
+        )
+
+
+class TestEmulator:
+    def test_identity_emulation_slowdown_small(self):
+        """Emulating a ring on itself: slowdown O(1)."""
+        g = build_ring(16)
+        rep = Emulator(g, build_ring(16)).run(4)
+        assert rep.slowdown <= 8
+
+    def test_host_larger_rejected(self):
+        with pytest.raises(ValueError):
+            Emulator(build_ring(8), build_ring(16))
+
+    def test_load_balanced(self):
+        em = Emulator(build_mesh(8, 2), build_mesh(4, 2))
+        assert em.load == 4
+
+    def test_slowdown_at_least_load_bound(self):
+        em = Emulator(build_mesh(8, 2), build_mesh(4, 2))
+        rep = em.run(2)
+        assert rep.slowdown >= rep.load_bound
+
+    def test_slowdown_at_least_bandwidth_bound(self):
+        """de Bruijn guest on tiny array host: the measured slowdown
+        respects the Theorem-1 numeric bound."""
+        em = Emulator(build_de_bruijn(6), build_linear_array(8))
+        rep = em.run(2)
+        assert rep.slowdown >= rep.bandwidth_bound
+
+    def test_report_fields(self):
+        rep = Emulator(build_tree(4), build_linear_array(8)).run(3)
+        assert rep.guest_size == 31 and rep.host_size == 8
+        assert rep.steps == 3
+        assert rep.host_time == rep.slowdown * 3
+        assert "emulate" in str(rep)
+
+    def test_bandwidth_dominates_on_powerful_guest(self):
+        """For a de Bruijn guest on a same-ish size array, the bandwidth
+        bound exceeds the load bound (the regime right of the Figure-1
+        crossover)."""
+        em = Emulator(build_de_bruijn(6), build_linear_array(32))
+        rep = em.run(1)
+        assert rep.bandwidth_bound > rep.load_bound

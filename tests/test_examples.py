@@ -1,0 +1,90 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing contract surface; these tests execute each
+``main()`` in-process (fast paths where the script offers knobs) and
+check for the landmark lines a reader is promised.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "O(lg(n)^2)" in out
+        assert "emulate on" in out
+
+    def test_choose_host_size(self, capsys):
+        _load("choose_host_size").main()
+        out = capsys.readouterr().out
+        assert "crossover" in out
+        assert out.count("Figure 1") == 3
+
+    def test_bandwidth_survey_small(self, capsys):
+        _load("bandwidth_survey").main(96)
+        out = capsys.readouterr().out
+        assert "Bandwidth survey" in out
+        assert "bottleneck" in out.lower()
+
+    def test_gamma_construction(self, capsys):
+        _load("gamma_construction").main()
+        out = capsys.readouterr().out
+        assert "Lemma 9 on ring guests" in out
+
+    def test_redundant_emulation(self, capsys):
+        _load("redundant_emulation").main()
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "Best halo" in out
+
+    def test_saturation_curves(self, capsys):
+        _load("saturation_curves").main()
+        out = capsys.readouterr().out
+        assert "Plateaus" in out
+
+    def test_circuit_scheduling(self, capsys):
+        _load("circuit_scheduling").main()
+        out = capsys.readouterr().out
+        assert "Per-level view" in out
+
+    def test_table_explorer_cli(self, capsys, monkeypatch):
+        mod = _load("table_explorer")
+        monkeypatch.setattr(
+            sys, "argv", ["table_explorer.py", "pair", "de_bruijn", "mesh_2"]
+        )
+        mod.main()
+        out = capsys.readouterr().out
+        assert "lg(|G|)^2" in out
+
+    def test_all_examples_covered(self):
+        """Every example file has a smoke test above."""
+        tested = {
+            "quickstart",
+            "choose_host_size",
+            "bandwidth_survey",
+            "gamma_construction",
+            "redundant_emulation",
+            "saturation_curves",
+            "circuit_scheduling",
+            "table_explorer",
+        }
+        present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert present == tested, present.symmetric_difference(tested)

@@ -1,0 +1,76 @@
+"""Whole-registry sweep: every family passes the core pipeline.
+
+For each of the ~40 registered families this exercises, at two sizes:
+construction, routing a symmetric batch to completion, bandwidth
+bracketing, formula sanity against the bracket, and the Theorem-1
+numeric bound against a fixed small host.  These are the integration
+guarantees a user relies on when they pick *any* family key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandwidth import beta_bracket, beta_value
+from repro.routing import RoutingSimulator, measure_bandwidth
+from repro.theory import max_host_size, symbolic_slowdown, theorem_guest_time
+from repro.topologies import all_family_keys, family_spec
+from repro.traffic import symmetric_traffic
+
+ALL_KEYS = all_family_keys()
+
+
+@pytest.mark.parametrize("key", ALL_KEYS)
+class TestEveryFamily:
+    def test_builds_connected_at_two_sizes(self, key):
+        spec = family_spec(key)
+        sizes = set()
+        for target in (48, 700):
+            m = spec.build_with_size(target)
+            assert m.num_nodes >= 4
+            sizes.add(m.num_nodes)
+        # The builder must actually scale across a ~15x target spread
+        # (coarse-grained families like pyramid_3 step in ~8x jumps).
+        assert len(sizes) == 2, key
+
+    def test_routes_symmetric_batch(self, key):
+        m = family_spec(key).build_with_size(48)
+        msgs = symmetric_traffic(m.num_nodes).sample_messages(64, seed=1)
+        res = RoutingSimulator(m).route([[s, d] for s, d in msgs])
+        assert res.num_packets == 64
+        assert np.all(res.delivery_times >= 0)
+
+    def test_bracket_and_formula_consistent(self, key):
+        m = family_spec(key).build_with_size(96)
+        br = beta_bracket(m)
+        assert 0 < br.lower <= br.upper < float("inf")
+        form = beta_value(key, m.num_nodes)
+        factor = 16 if family_spec(key).weak else 10
+        assert br.lower / factor <= form <= br.upper * factor, (key, form, br)
+
+    def test_theorem1_machinery_resolves(self, key):
+        """Symbolic slowdown and max host size exist for every pair with
+        the canonical mesh_2 host."""
+        bound = symbolic_slowdown(key, "mesh_2")
+        assert bound.beta_guest == family_spec(key).beta
+        size = max_host_size(key, "mesh_2")
+        assert size.expr is not None
+        tmin = theorem_guest_time(key)
+        assert tmin.expr.tends_to_infinity or tmin.expr.is_constant
+
+
+@pytest.mark.parametrize("key", ["mesh_2", "de_bruijn", "xtree", "tree"])
+def test_operational_rate_scales_with_formula(key):
+    """Doubling-ish the size moves the measured rate in the formula's
+    direction (up for growing beta, flat for Theta(1))."""
+    spec = family_spec(key)
+    small = spec.build_with_size(64)
+    large = spec.build_with_size(256)
+    r_small = measure_bandwidth(small, seed=0).rate
+    r_large = measure_bandwidth(large, seed=0).rate
+    f_small = beta_value(key, small.num_nodes)
+    f_large = beta_value(key, large.num_nodes)
+    predicted = f_large / f_small
+    measured = r_large / r_small
+    assert predicted / 3 <= measured <= predicted * 3, (key, predicted, measured)

@@ -1,0 +1,137 @@
+"""Cross-module integration tests: the paper's claims end-to-end.
+
+These tests tie at least three subsystems together each: topology
+generators + routing simulator + theory, circuits + collapse + Lemma 8,
+and Theorem 6's equivalence of operational and graph-theoretic
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Emulator,
+    beta_bracket,
+    build_gamma,
+    build_nonredundant_circuit,
+    collapse_circuit,
+    family_spec,
+    figure1_data,
+    max_host_size,
+    measure_bandwidth,
+    numeric_slowdown_bound,
+    symbolic_slowdown,
+)
+from repro.emulation import balanced_assignment
+from repro.routing import RoutingSimulator
+from repro.theory import lemma8_time_lower
+from repro.topologies import build_de_bruijn, build_linear_array, build_mesh, build_ring
+
+
+class TestTheorem6Agreement:
+    """Operational rate ~ graph-theoretic bracket, per family."""
+
+    @pytest.mark.parametrize(
+        "key,size",
+        [
+            ("linear_array", 64),
+            ("tree", 63),
+            ("mesh_2", 64),
+            ("de_bruijn", 64),
+            ("xtree", 63),
+        ],
+    )
+    def test_operational_within_bracket_scale(self, key, size):
+        m = family_spec(key).build_with_size(size)
+        rate = measure_bandwidth(m, seed=0).rate
+        br = beta_bracket(m)
+        assert br.lower / 4 <= rate <= br.upper * 4, (key, rate, br)
+
+
+class TestIntroExampleEndToEnd:
+    """The de Bruijn-on-mesh worked example, symbolic and empirical."""
+
+    def test_symbolic_chain(self):
+        bound = symbolic_slowdown("de_bruijn", "mesh_2")
+        host = max_host_size("de_bruijn", "mesh_2")
+        f1 = figure1_data("de_bruijn", "mesh_2", 2**14)
+        assert str(host.expr) == "lg(n)^2"
+        assert f1.crossover_numeric == pytest.approx(196.0)
+        # At the crossover the bound equals the load bound.
+        at_star = bound.evaluate(2**14, 196)
+        assert at_star == pytest.approx(2**14 / 196, rel=0.02)
+
+    def test_empirical_slowdown_grows_with_guest(self):
+        """Measured slowdown of de Bruijn on a fixed 4x4 mesh grows
+        roughly linearly in n/lg n (the Theorem-1 prediction)."""
+        host_builder = lambda: build_mesh(4, 2)
+        slowdowns = {}
+        for order in (6, 8):
+            g = build_de_bruijn(order)
+            rep = Emulator(g, host_builder()).run(2)
+            slowdowns[order] = rep.slowdown
+        predicted_ratio = (2**8 / 8) / (2**6 / 6)  # = 3
+        measured_ratio = slowdowns[8] / slowdowns[6]
+        assert 0.4 * predicted_ratio <= measured_ratio <= 2.5 * predicted_ratio
+
+
+class TestCircuitToHostPipeline:
+    """Circuit -> collapse -> Lemma 8 -> actual routing, consistent."""
+
+    def test_collapsed_pattern_routing_time(self):
+        guest = build_ring(16)
+        host = build_linear_array(4)
+        circuit = build_nonredundant_circuit(guest, 4)
+        pattern, load = collapse_circuit(circuit, balanced_assignment(circuit, 4))
+        t_bound = lemma8_time_lower(pattern, host)
+        its = []
+        for (u, v), w in pattern.weights.items():
+            its += [[u, v]] * w
+        t_real = RoutingSimulator(host).route(its).total_time
+        assert t_real >= t_bound
+        assert load >= circuit.num_nodes // 4
+
+    def test_emulator_consistent_with_collapse(self):
+        """The emulator's per-step messages match a one-level collapse."""
+        guest = build_ring(12)
+        host = build_linear_array(4)
+        em = Emulator(guest, host)
+        msgs = em.step_messages()
+        # Ring split into 4 blocks: at least 4 cut links (2 directions
+        # each); the BFS linearisation may split the ring into a few more
+        # arcs but never more than one boundary per vertex.
+        assert len(msgs) % 2 == 0
+        assert 8 <= len(msgs) <= 16
+
+
+class TestLemma9AcrossFamilies:
+    def test_gamma_ratio_uniformly_bounded(self):
+        """Lemma 9's Omega(1) ratio holds across guest families."""
+        guests = [build_ring(16), build_mesh(4, 2), build_de_bruijn(5)]
+        for g in guests:
+            ratio = build_gamma(g).bandwidth_ratio()
+            assert ratio >= 0.08, (g.name, ratio)
+
+
+class TestSlowdownMonotonicity:
+    def test_numeric_bound_monotone_in_guest_power(self):
+        """A stronger guest yields a larger numeric slowdown bound on the
+        same host."""
+        host = build_linear_array(16)
+        weak_guest = build_mesh(6, 2)  # beta ~ 6
+        strong_guest = build_de_bruijn(6)  # beta ~ 64/6
+        assert numeric_slowdown_bound(strong_guest, host) > numeric_slowdown_bound(
+            weak_guest, host
+        )
+
+    def test_symbolic_numeric_consistency(self):
+        """Numeric bound tracks the symbolic formula within constants."""
+        g = build_de_bruijn(7)
+        h = build_mesh(4, 2)
+        numeric = numeric_slowdown_bound(g, h)
+        symbolic = symbolic_slowdown("de_bruijn", "mesh_2").evaluate(
+            g.num_nodes, h.num_nodes
+        )
+        assert symbolic / 8 <= numeric <= symbolic * 8

@@ -1,0 +1,233 @@
+"""Tests for the LP congestion bound, the LogPoly parser, and
+dimension-order routing (the post-green extensions)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asymptotics import LogPoly, parse_logpoly, theta_max, theta_min
+from repro.asymptotics.parse import ParseError
+from repro.bandwidth import (
+    beta_bracket,
+    lp_beta_upper,
+    lp_min_congestion,
+    routing_congestion,
+)
+from repro.routing import (
+    DimensionOrderRouter,
+    RoutingSimulator,
+    dimension_order_route,
+    measure_bandwidth,
+)
+from repro.topologies import (
+    build_de_bruijn,
+    build_hypercube,
+    build_linear_array,
+    build_mesh,
+    build_ring,
+    build_torus,
+    build_tree,
+)
+from repro.traffic import TrafficMultigraph
+
+
+class TestLpCongestion:
+    def test_linear_array_exact(self):
+        """Fractional = integral on a path: middle link carries n^2/4."""
+        assert lp_min_congestion(build_linear_array(12)) == pytest.approx(36.0)
+
+    def test_ring_exact(self):
+        """Ring halves the path congestion: n^2/8."""
+        assert lp_min_congestion(build_ring(12)) == pytest.approx(18.0)
+
+    def test_tree_root_bottleneck(self):
+        # 15-node tree: the two root links carry all 7x8 cross pairs + root.
+        c = lp_min_congestion(build_tree(3))
+        assert 7 * 8 <= c <= 8 * 8
+
+    def test_lower_bounds_routing_congestion(self):
+        """Fractional optimum <= any concrete routing's congestion."""
+        for build in (
+            lambda: build_mesh(4, 2),
+            lambda: build_de_bruijn(4),
+            lambda: build_ring(10),
+        ):
+            m = build()
+            assert lp_min_congestion(m) <= routing_congestion(m) + 1e-6
+
+    def test_refines_bracket(self):
+        """The LP-certified beta upper bound is inside the cut bracket."""
+        m = build_mesh(4, 2)
+        br = beta_bracket(m)
+        lp = lp_beta_upper(m)
+        assert br.lower - 1e-6 <= lp <= br.upper + 1e-6
+
+    def test_explicit_traffic(self):
+        m = build_linear_array(6)
+        tm = TrafficMultigraph(6, {(0, 5): 4})
+        # Only one route: every link carries all 4 units.
+        assert lp_min_congestion(m, tm) == pytest.approx(4.0)
+
+    def test_parallel_paths_split(self):
+        """On a 4-cycle, opposite-corner demand splits across both sides."""
+        m = build_ring(4)
+        tm = TrafficMultigraph(4, {(0, 2): 2})
+        assert lp_min_congestion(m, tm) == pytest.approx(1.0)
+
+    def test_max_pairs_guard(self):
+        with pytest.raises(ValueError):
+            lp_min_congestion(build_mesh(8, 2), max_pairs=10)
+
+    def test_oversized_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            lp_min_congestion(build_ring(4), TrafficMultigraph(9, {(0, 8): 1}))
+
+
+class TestParse:
+    def test_basic(self):
+        assert parse_logpoly("n") == LogPoly.n()
+        assert parse_logpoly("1") == LogPoly.one()
+
+    def test_fraction_exponent(self):
+        assert parse_logpoly("n^(1/2)") == LogPoly.n(Fraction(1, 2))
+
+    def test_negative_int_exponent(self):
+        assert parse_logpoly("lg(n)^-2") == LogPoly.log(power=-2)
+
+    def test_quotient_with_parens(self):
+        assert parse_logpoly("1 / (n lg(n))") == (
+            LogPoly.n() * LogPoly.log()
+        ).inverse()
+
+    def test_deep_levels(self):
+        assert parse_logpoly("lg^(4)(n)") == LogPoly.log(level=4)
+        assert parse_logpoly("lglglg(n)^3") == LogPoly.log(level=3, power=3)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_logpoly("m^2")
+        with pytest.raises(ParseError):
+            parse_logpoly("n / lg(n) / n")
+        with pytest.raises(ParseError):
+            parse_logpoly("n^(1/2")
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            parse_logpoly(42)
+
+    @given(
+        st.lists(
+            st.fractions(min_value=-3, max_value=3, max_denominator=5),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, exps):
+        """parse(str(x)) == x for every representable monomial."""
+        expr = LogPoly.from_exponents(exps)
+        assert parse_logpoly(str(expr)) == expr
+
+
+class TestThetaMaxMin:
+    def test_max_picks_dominant(self):
+        assert theta_max(LogPoly.log(power=9), LogPoly.n()) == LogPoly.n()
+
+    def test_min_picks_slowest(self):
+        assert theta_min(LogPoly.log(power=9), LogPoly.n()) == LogPoly.log(power=9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            theta_max()
+
+    @given(
+        st.lists(
+            st.lists(
+                st.fractions(min_value=-2, max_value=2, max_denominator=3),
+                max_size=3,
+            ).map(LogPoly.from_exponents),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40)
+    def test_max_dominates_all(self, terms):
+        mx = theta_max(*terms)
+        assert all(mx >= t for t in terms)
+        assert mx in terms
+
+
+class TestDimensionOrder:
+    def test_mesh_path_valid_and_shortest(self):
+        m = build_mesh(5, 2)
+        r = DimensionOrderRouter(m)
+        from repro.routing import NextHopTables
+
+        t = NextHopTables(m)
+        for src, dst in ((0, 24), (3, 21), (7, 7)):
+            p = r.path(src, dst)
+            assert p[0] == src and p[-1] == dst
+            for a, b in zip(p, p[1:]):
+                assert m.graph.has_edge(a, b)
+            assert len(p) - 1 == t.distance(src, dst)  # e-cube is minimal on meshes
+
+    def test_torus_uses_wraparound(self):
+        m = build_torus(6, 1)
+        r = DimensionOrderRouter(m)
+        # 0 -> 5 should wrap (1 hop), not walk 5 hops.
+        p = r.path(r.node_of[(0,)], r.node_of[(5,)])
+        assert len(p) == 2
+
+    def test_hypercube_fixes_bits_in_order(self):
+        m = build_hypercube(4)
+        r = DimensionOrderRouter(m)
+        by_label = {lab: v for v, lab in m.labels.items()}
+        p = r.path(by_label[(0, 0, 0, 0)], by_label[(1, 1, 0, 1)])
+        assert len(p) == 4  # 3 bit flips
+        labels = [m.labels[v] for v in p]
+        assert labels[1] == (1, 0, 0, 0)
+
+    def test_unsupported_labels_rejected(self):
+        # Trees have string labels: rejected at construction.
+        with pytest.raises(ValueError):
+            DimensionOrderRouter(build_tree(3))
+
+    def test_non_grid_adjacency_rejected_at_path_time(self):
+        # de Bruijn labels are ints, but adjacency is not unit-step:
+        # the missing-link check fires when a path is requested.
+        r = DimensionOrderRouter(build_de_bruijn(4))
+        with pytest.raises(ValueError):
+            for dst in range(1, 16):
+                r.path(0, dst)
+
+    def test_routable_on_simulator(self):
+        m = build_mesh(4, 2)
+        its = dimension_order_route(m, [(0, 15), (15, 0), (3, 12)])
+        res = RoutingSimulator(m).route(its)
+        assert res.num_packets == 3
+
+    def test_measure_with_dimension_order(self):
+        m = build_torus(4, 2)
+        meas = measure_bandwidth(m, strategy="dimension_order", seed=0)
+        ref = measure_bandwidth(m, strategy="shortest", seed=0)
+        assert meas.rate > 0
+        assert 1 / 4 <= meas.rate / ref.rate <= 4  # constants only
+
+
+class TestEmulatorInefficiency:
+    def test_inefficiency_definition(self):
+        from repro.emulation import Emulator
+
+        rep = Emulator(build_mesh(4, 2), build_mesh(4, 2)).run(2)
+        assert rep.inefficiency == pytest.approx(rep.slowdown)
+
+    def test_small_host_efficient(self):
+        """Array-on-array at m << n is load-dominated: I = O(1)."""
+        from repro.emulation import Emulator
+
+        rep = Emulator(build_linear_array(64), build_linear_array(4)).run(2)
+        assert rep.is_efficient, rep.inefficiency

@@ -1,0 +1,167 @@
+"""Tests for the ghost-zone redundant emulation (the upper-bound side)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulation import CellularGuest, GhostZoneEmulator
+
+
+class TestCellularGuest:
+    def test_step_is_deterministic(self):
+        g = CellularGuest(16)
+        s = g.initial_state(seed=1)
+        assert np.array_equal(g.step(s), g.step(s))
+
+    def test_ring_shift_invariance(self):
+        """On a ring, rotating the state commutes with stepping."""
+        g = CellularGuest(16, ring=True)
+        s = g.initial_state(seed=2)
+        a = np.roll(g.step(s), 3)
+        b = g.step(np.roll(s, 3))
+        assert np.array_equal(a, b)
+
+    def test_path_boundary_clamped(self):
+        """Cell 0 uses itself as its left neighbour on a path."""
+        g = CellularGuest(8, ring=False)
+        s = np.arange(8, dtype=np.int64)
+        out = g.step(s)
+        expected0 = (3 * s[0] + 5 * s[0] + 7 * s[1] + 11) % 251
+        assert out[0] == expected0
+
+    def test_custom_rule(self):
+        g = CellularGuest(8, rule=lambda l, c, r: (l + r) % 7)
+        s = np.ones(8, dtype=np.int64)
+        assert np.array_equal(g.step(s), np.full(8, 2) % 7)
+
+    def test_run_composes_steps(self):
+        g = CellularGuest(12)
+        s = g.initial_state()
+        assert np.array_equal(g.run(s, 3), g.step(g.step(g.step(s))))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CellularGuest(2)
+
+
+class TestGhostZoneCorrectness:
+    @pytest.mark.parametrize("ring", [False, True])
+    @pytest.mark.parametrize("w", [1, 2, 3, 6])
+    def test_bit_exact_vs_direct(self, ring, w):
+        g = CellularGuest(24, ring=ring)
+        s0 = g.initial_state(seed=5)
+        steps = 2 * w * 3
+        direct = g.run(s0.copy(), steps)
+        emulated, _ = GhostZoneEmulator(g, 4, halo_width=w).run(s0.copy(), steps)
+        assert np.array_equal(direct, emulated)
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.booleans(),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bit_exact_property(self, m, w, ring, seed):
+        """Any (blocks, halo, topology, seed): emulation == direct run."""
+        b = max(w, 3)
+        g = CellularGuest(m * b, ring=ring)
+        s0 = g.initial_state(seed=seed)
+        steps = 2 * w
+        direct = g.run(s0.copy(), steps)
+        emulated, _ = GhostZoneEmulator(g, m, halo_width=w).run(s0.copy(), steps)
+        assert np.array_equal(direct, emulated)
+
+    def test_single_block_whole_machine(self):
+        """m=1 degenerates to direct execution (no communication work)."""
+        g = CellularGuest(12)
+        s0 = g.initial_state()
+        out, rep = GhostZoneEmulator(g, 1, halo_width=2).run(s0.copy(), 4)
+        assert np.array_equal(out, g.run(s0.copy(), 4))
+
+
+class TestGhostZoneValidation:
+    def test_blocks_must_divide(self):
+        with pytest.raises(ValueError):
+            GhostZoneEmulator(CellularGuest(10), 3)
+
+    def test_halo_at_most_block(self):
+        with pytest.raises(ValueError):
+            GhostZoneEmulator(CellularGuest(12), 4, halo_width=4)
+
+    def test_steps_multiple_of_halo(self):
+        em = GhostZoneEmulator(CellularGuest(12), 4, halo_width=2)
+        with pytest.raises(ValueError):
+            em.run(CellularGuest(12).initial_state(), 3)
+
+    def test_state_size_checked(self):
+        em = GhostZoneEmulator(CellularGuest(12), 4)
+        with pytest.raises(ValueError):
+            em.run(np.zeros(5), 2)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            GhostZoneEmulator(CellularGuest(12), 4, alpha=-1)
+
+
+class TestGhostZoneCosts:
+    def test_no_redundancy_at_w1(self):
+        g = CellularGuest(24, ring=True)
+        _, rep = GhostZoneEmulator(g, 4, halo_width=1).run(
+            g.initial_state(), 6
+        )
+        # w=1: halo cells are read but never recomputed -- zero
+        # redundancy, exactly the non-redundant emulation.
+        assert rep.redundant_work == 0
+        assert rep.inefficiency == 1.0
+
+    def test_redundant_work_grows_with_halo(self):
+        g = CellularGuest(48, ring=True)
+        reps = []
+        for w in (1, 2, 4):
+            _, rep = GhostZoneEmulator(g, 4, halo_width=w).run(
+                g.initial_state(), 8
+            )
+            reps.append(rep.redundant_work)
+        assert reps[0] < reps[1] < reps[2]
+
+    def test_efficiency_constant_for_small_halo(self):
+        """w <= b keeps inefficiency O(1): the efficient regime."""
+        g = CellularGuest(64, ring=True)
+        _, rep = GhostZoneEmulator(g, 4, halo_width=4).run(
+            g.initial_state(), 8
+        )
+        assert rep.inefficiency <= 2.0
+
+    def test_latency_amortised_by_halo(self):
+        """With alpha >> 1, slowdown improves as w grows toward sqrt(alpha)."""
+        g = CellularGuest(64, ring=True)
+        slow = {}
+        for w in (1, 4):
+            _, rep = GhostZoneEmulator(g, 8, halo_width=w, alpha=64).run(
+                g.initial_state(), 8
+            )
+            slow[w] = rep.slowdown
+        assert slow[4] < slow[1]
+
+    def test_slowdown_at_least_load_bound(self):
+        g = CellularGuest(64, ring=True)
+        _, rep = GhostZoneEmulator(g, 8, halo_width=2).run(g.initial_state(), 8)
+        assert rep.slowdown >= rep.load_bound
+
+    def test_cost_model_formula(self):
+        """Per guest step: compute = b + w - 1 (interior blocks)."""
+        g = CellularGuest(64, ring=True)
+        w, m, steps = 4, 8, 8
+        _, rep = GhostZoneEmulator(g, m, halo_width=w).run(g.initial_state(), steps)
+        b = 64 // m
+        expected_compute = (steps // w) * sum(b + 2 * (w - i - 1) for i in range(w))
+        assert rep.compute_ticks == expected_compute
+
+    def test_report_str(self):
+        g = CellularGuest(24, ring=True)
+        _, rep = GhostZoneEmulator(g, 4, halo_width=2).run(g.initial_state(), 4)
+        assert "ghost-zone" in str(rep)

@@ -1,0 +1,158 @@
+"""Tests for open-loop saturation sweeps, the host-size catalogue, and
+the expander-gap experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    RoutingSimulator,
+    saturation_bandwidth,
+    saturation_sweep,
+)
+from repro.theory import (
+    catalog_consistency_violations,
+    expander_gap_experiment,
+    full_catalog,
+)
+from repro.topologies import build_de_bruijn, build_linear_array, build_mesh, build_ring
+
+
+class TestReleaseTimes:
+    def test_staggered_injection_delays_delivery(self):
+        m = build_linear_array(6)
+        sim = RoutingSimulator(m)
+        res = sim.route([[0, 5]], release_times=[10])
+        # Released at tick 10: the first hop completes at tick 10, so
+        # delivery lands at 10 + 5 - 1.
+        assert res.total_time == 14
+
+    def test_mixed_release(self):
+        m = build_ring(8)
+        sim = RoutingSimulator(m)
+        res = sim.route([[0, 2], [0, 2]], release_times=[0, 6])
+        times = sorted(res.delivery_times.tolist())
+        assert times[0] == 2
+        assert times[1] == 7  # released at 6, 2 hops, first at tick 6
+
+    def test_self_message_released_late(self):
+        m = build_ring(8)
+        res = RoutingSimulator(m).route([[3, 3]], release_times=[7])
+        assert res.delivery_times[0] == 7
+
+    def test_wrong_length_rejected(self):
+        m = build_ring(8)
+        with pytest.raises(ValueError):
+            RoutingSimulator(m).route([[0, 1]], release_times=[0, 1])
+
+    def test_negative_rejected(self):
+        m = build_ring(8)
+        with pytest.raises(ValueError):
+            RoutingSimulator(m).route([[0, 1]], release_times=[-1])
+
+    def test_same_result_as_zero_release(self):
+        m = build_mesh(4, 2)
+        msgs = [[0, 15], [3, 12], [5, 10]]
+        a = RoutingSimulator(m).route(msgs)
+        b = RoutingSimulator(m).route(msgs, release_times=[0, 0, 0])
+        assert a.total_time == b.total_time
+
+
+class TestSaturation:
+    def test_points_have_expected_shape(self):
+        pts = saturation_sweep(build_mesh(6, 2), duration=48, seed=0)
+        assert len(pts) >= 4
+        rates = [p.offered_rate for p in pts]
+        assert rates == sorted(rates)
+
+    def test_latency_rises_past_saturation(self):
+        """On a Theta(1)-bandwidth machine, high offered load must blow
+        up latency relative to low load."""
+        pts = saturation_sweep(
+            build_linear_array(32), rates=[0.05, 1.0], duration=96, seed=0
+        )
+        assert pts[-1].mean_latency > 3 * pts[0].mean_latency
+
+    def test_delivered_rate_monotone_below_saturation(self):
+        pts = saturation_sweep(
+            build_de_bruijn(6), rates=[0.05, 0.1, 0.2], duration=96, seed=0
+        )
+        rates = [p.delivered_rate for p in pts]
+        assert rates == sorted(rates)
+
+    def test_saturation_bandwidth_tracks_beta(self):
+        """Plateau throughput lands within constants of the measured
+        batch bandwidth."""
+        from repro.routing import measure_bandwidth
+
+        m = build_mesh(8, 2)
+        sat = saturation_bandwidth(m, duration=96, seed=0)
+        batch = measure_bandwidth(m, seed=0).rate
+        assert batch / 4 <= sat <= batch * 4
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_sweep(build_ring(8), rates=[1.5])
+
+    def test_array_saturates_below_mesh(self):
+        sat_arr = saturation_bandwidth(build_linear_array(64), duration=64, seed=0)
+        sat_mesh = saturation_bandwidth(build_mesh(8, 2), duration=64, seed=0)
+        assert sat_mesh > 2 * sat_arr
+
+
+class TestCatalog:
+    def test_full_catalog_covers_all_pairs(self):
+        entries = full_catalog(guests=["mesh_2", "de_bruijn"], hosts=["tree", "mesh_2"])
+        assert len(entries) == 4
+
+    def test_no_consistency_violations_small(self):
+        entries = full_catalog(
+            guests=["mesh_2", "mesh_3", "de_bruijn", "tree", "xtree"],
+            hosts=["linear_array", "tree", "xtree", "mesh_2", "butterfly"],
+        )
+        assert catalog_consistency_violations(entries) == []
+
+    def test_no_consistency_violations_everything(self):
+        """The entire registry matrix obeys monotonicity/diagonal laws."""
+        assert catalog_consistency_violations() == []
+
+    def test_known_cells(self):
+        from repro.asymptotics import LogPoly
+
+        entries = {
+            (e.guest_key, e.host_key): e.bound.expr
+            for e in full_catalog(guests=["hypercube"], hosts=["butterfly", "hypercube"])
+        }
+        # Strong hypercube guest: butterfly hosts only at Theta(1)...
+        assert entries[("hypercube", "butterfly")] == LogPoly.one()
+        # ... but hypercube hosts at full size.
+        assert entries[("hypercube", "hypercube")] == LogPoly.n()
+
+
+class TestExpanderGap:
+    @pytest.fixture(scope="class")
+    def gap(self):
+        return expander_gap_experiment(sizes=[64, 128, 256])
+
+    def test_bandwidth_blind(self, gap):
+        """Normalised beta is Theta(1) for *both* families: the bandwidth
+        method cannot separate them."""
+        for key in ("de_bruijn", "expander"):
+            norms = [p.normalized_beta for p in gap[key]]
+            assert max(norms) <= 3 * min(norms), (key, norms)
+
+    def test_expansion_separates(self, gap):
+        """lambda_2 decays for de Bruijn but stays flat for the expander
+        (the invariant the congestion method exploits)."""
+        db = [p.lambda2 for p in gap["de_bruijn"]]
+        ex = [p.lambda2 for p in gap["expander"]]
+        assert db[-1] < 0.75 * db[0]  # decaying
+        assert ex[-1] > 0.6 * ex[0]  # flat
+        assert ex[-1] > 2 * db[-1]  # separated at the largest size
+
+    def test_brackets_overlap_scale(self, gap):
+        for a, b in zip(gap["de_bruijn"], gap["expander"]):
+            assert a.guest_size == b.guest_size
+            assert a.beta_upper >= b.beta_lower / 4
+            assert b.beta_upper >= a.beta_lower / 4

@@ -1,0 +1,376 @@
+"""Structural tests for every machine family."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topologies import (
+    Machine,
+    all_family_keys,
+    build_butterfly,
+    build_ccc,
+    build_de_bruijn,
+    build_expander,
+    build_global_bus,
+    build_hypercube,
+    build_linear_array,
+    build_mesh,
+    build_mesh_of_trees,
+    build_multibutterfly,
+    build_multigrid,
+    build_pyramid,
+    build_ring,
+    build_shuffle_exchange,
+    build_torus,
+    build_tree,
+    build_weak_hypercube,
+    build_weak_ppn,
+    build_xgrid,
+    build_xtree,
+    family_spec,
+    mesh_side_for_size,
+)
+
+
+class TestMachineBase:
+    def test_relabelled_to_ints(self, small_machines):
+        for m in small_machines.values():
+            assert set(m.nodes()) == set(range(m.num_nodes))
+
+    def test_all_connected(self, small_machines):
+        for m in small_machines.values():
+            assert nx.is_connected(m.graph), m.name
+
+    def test_labels_preserved(self):
+        m = build_mesh(3, 2)
+        assert sorted(m.labels.values())[0] == (0, 0)
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            Machine(g, family="broken")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(nx.Graph(), family="empty")
+
+    def test_repr_mentions_weak(self):
+        m = build_weak_hypercube(3)
+        assert "weak" in repr(m)
+
+    def test_diameter_cached(self, mesh8):
+        assert mesh8.diameter() == 14
+        assert mesh8.diameter() == 14  # cache path
+
+    def test_average_distance_positive(self, mesh8):
+        avg = mesh8.average_distance()
+        assert 0 < avg <= mesh8.diameter()
+
+    def test_subscript(self):
+        assert build_mesh(3, 2).subscript() == "mesh_2"
+        assert build_tree(3).subscript() == "tree"
+
+
+class TestLinearFamilies:
+    def test_linear_array_sizes(self):
+        m = build_linear_array(10)
+        assert m.num_nodes == 10 and m.num_edges == 9
+
+    def test_linear_array_diameter(self):
+        assert build_linear_array(10).diameter() == 9
+
+    def test_ring_is_cycle(self):
+        m = build_ring(8)
+        assert m.num_edges == 8
+        assert all(d == 2 for _, d in m.graph.degree())
+
+    def test_ring_diameter(self):
+        assert build_ring(8).diameter() == 4
+
+    def test_global_bus_structure(self):
+        m = build_global_bus(10)
+        assert m.num_nodes == 12  # 10 processors + 2 hubs
+        assert m.diameter() == 3
+
+    def test_global_bus_bridge(self):
+        """The hub-hub link is a bridge separating the halves."""
+        m = build_global_bus(10)
+        bridges = list(nx.bridges(m.graph))
+        # All processor attachments are bridges too; hub-hub is among them.
+        hubs = [v for v, d in m.graph.degree() if d > 1]
+        assert len(hubs) == 2
+        assert tuple(sorted(hubs)) in {tuple(sorted(b)) for b in bridges}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_linear_array(1)
+        with pytest.raises(ValueError):
+            build_ring(2)
+
+
+class TestTreeFamilies:
+    def test_tree_size(self):
+        assert build_tree(4).num_nodes == 31
+        assert build_tree(4).num_edges == 30
+
+    def test_tree_degree(self):
+        assert build_tree(5).max_degree == 3
+
+    def test_tree_diameter(self):
+        assert build_tree(4).diameter() == 8
+
+    def test_xtree_size(self):
+        # Tree nodes + level-path edges: 2^l - 1 per level l >= 1.
+        m = build_xtree(3)
+        assert m.num_nodes == 15
+        assert m.num_edges == 14 + (1 + 3 + 7)
+
+    def test_xtree_diameter_logarithmic(self):
+        m = build_xtree(6)
+        assert m.diameter() <= 2 * 6 + 1
+
+    def test_xtree_level_paths(self):
+        """Lateral edges exist along the deepest level."""
+        m = build_xtree(3)
+        labels = {lab: v for v, lab in m.labels.items()}
+        for i in range(8, 15):
+            assert m.graph.has_edge(labels[f"x{i:08d}"], labels[f"x{i + 1:08d}"]) or i == 14
+
+    def test_weak_ppn_is_weak(self):
+        m = build_weak_ppn(3)
+        assert m.is_weak and m.port_limit == 1
+
+    def test_weak_ppn_size(self):
+        # 3 * 2^h - 2 nodes
+        assert build_weak_ppn(3).num_nodes == 3 * 8 - 2
+
+    def test_weak_ppn_diameter(self):
+        assert build_weak_ppn(4).diameter() <= 2 * 4 + 2
+
+
+class TestMeshFamilies:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_mesh_size(self, k):
+        assert build_mesh(4, k).num_nodes == 4**k
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_mesh_edges(self, k):
+        # k * side^(k-1) * (side-1) edges
+        assert build_mesh(4, k).num_edges == k * 4 ** (k - 1) * 3
+
+    def test_mesh_diameter(self):
+        assert build_mesh(5, 2).diameter() == 8
+
+    def test_torus_regular(self):
+        m = build_torus(4, 2)
+        assert all(d == 4 for _, d in m.graph.degree())
+
+    def test_torus_diameter_half_of_mesh(self):
+        assert build_torus(6, 2).diameter() == 6
+
+    def test_xgrid_contains_mesh(self):
+        mesh = build_mesh(4, 2)
+        xg = build_xgrid(4, 2)
+        assert xg.num_edges > mesh.num_edges
+
+    def test_xgrid_diagonals(self):
+        m = build_xgrid(3, 2)
+        labels = {lab: v for v, lab in m.labels.items()}
+        assert m.graph.has_edge(labels[(0, 0)], labels[(1, 1)])
+
+    def test_xgrid_king_degree(self):
+        m = build_xgrid(4, 2)
+        assert m.max_degree == 8
+
+    def test_mesh_side_for_size(self):
+        assert mesh_side_for_size(64, 2) == 8
+        assert mesh_side_for_size(100, 2) == 10
+        assert mesh_side_for_size(27, 3) == 3
+
+    @given(st.integers(min_value=4, max_value=4000), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30)
+    def test_mesh_side_near_target(self, n, k):
+        side = mesh_side_for_size(n, k)
+        assert side >= 2
+        # The chosen side is at least as close as its neighbours.
+        assert abs(side**k - n) <= abs((side + 1) ** k - n)
+        if side > 2:
+            assert abs(side**k - n) <= abs((side - 1) ** k - n)
+
+
+class TestHierarchicalFamilies:
+    def test_mot_leaf_count(self):
+        m = build_mesh_of_trees(4, 2)
+        # 16 leaves + 2 dims * 4 lines * 3 internal
+        assert m.num_nodes == 16 + 2 * 4 * 3
+
+    def test_mot_tree_acyclic_per_line(self):
+        m = build_mesh_of_trees(4, 1)
+        # A 1-dim MoT is a single tree over 4 leaves: 4 + 3 nodes, 6 edges.
+        assert m.num_nodes == 7 and m.num_edges == 6
+
+    def test_mot_diameter_logarithmic(self):
+        m = build_mesh_of_trees(8, 2)
+        assert m.diameter() <= 4 * 3 + 2  # two tree climbs
+
+    def test_mot_requires_pow2(self):
+        with pytest.raises(ValueError):
+            build_mesh_of_trees(3, 2)
+
+    def test_pyramid_size(self):
+        # side 4, k=2: 16 + 4 + 1 = 21
+        assert build_pyramid(4, 2).num_nodes == 21
+
+    def test_pyramid_apex_reaches_everything_fast(self):
+        m = build_pyramid(8, 2)
+        assert m.diameter() <= 2 * 4  # 2 * lg(side) + O(1)
+
+    def test_pyramid_parent_degree(self):
+        # Each coarse node links to 4 children + <=4 mesh nbrs + 1 parent.
+        m = build_pyramid(4, 2)
+        assert m.max_degree <= 9
+
+    def test_multigrid_size(self):
+        assert build_multigrid(4, 2).num_nodes == 21
+
+    def test_multigrid_sparser_than_pyramid(self):
+        assert build_multigrid(4, 2).num_edges < build_pyramid(4, 2).num_edges
+
+    def test_multigrid_requires_pow2(self):
+        with pytest.raises(ValueError):
+            build_multigrid(6, 2)
+
+    def test_multigrid_diameter_logarithmic(self):
+        assert build_multigrid(16, 2).diameter() <= 6 * 4
+
+
+class TestHypercubicFamilies:
+    def test_butterfly_size(self):
+        assert build_butterfly(3).num_nodes == 4 * 8
+
+    def test_butterfly_degree(self):
+        assert build_butterfly(4).max_degree == 4
+
+    def test_butterfly_wrapped_size(self):
+        assert build_butterfly(3, wrapped=True).num_nodes == 3 * 8
+
+    def test_butterfly_diameter(self):
+        assert build_butterfly(4).diameter() <= 2 * 4 + 1
+
+    def test_ccc_size_and_degree(self):
+        m = build_ccc(3)
+        assert m.num_nodes == 3 * 8
+        assert m.max_degree == 3
+
+    def test_ccc_cycle_edges(self):
+        m = build_ccc(4)
+        # 4 cycle edges per corner * 16 corners + 4*16/2 cube edges... count:
+        assert m.num_edges == 4 * 16 + 4 * 16 // 2
+
+    def test_shuffle_exchange_degree(self):
+        assert build_shuffle_exchange(5).max_degree <= 3
+
+    def test_shuffle_exchange_size(self):
+        assert build_shuffle_exchange(5).num_nodes == 32
+
+    def test_de_bruijn_size_and_degree(self):
+        m = build_de_bruijn(5)
+        assert m.num_nodes == 32
+        assert m.max_degree <= 4
+
+    def test_de_bruijn_diameter_is_order(self):
+        assert build_de_bruijn(6).diameter() == 6
+
+    def test_de_bruijn_shift_edges(self):
+        m = build_de_bruijn(4)
+        labels = {lab: v for v, lab in m.labels.items()}
+        assert m.graph.has_edge(labels[3], labels[6])  # 0011 -> 0110
+        assert m.graph.has_edge(labels[3], labels[7])  # 0011 -> 0111
+
+    def test_hypercube_degree_equals_order(self):
+        assert build_hypercube(5).max_degree == 5
+
+    def test_hypercube_diameter(self):
+        assert build_hypercube(5).diameter() == 5
+
+    def test_weak_hypercube_flag(self):
+        assert build_weak_hypercube(4).is_weak
+        assert not build_hypercube(4).is_weak
+
+
+class TestRandomizedFamilies:
+    def test_expander_regular(self):
+        m = build_expander(20, degree=4, seed=3)
+        assert all(d == 4 for _, d in m.graph.degree())
+
+    def test_expander_seeded_reproducible(self):
+        a = build_expander(20, degree=4, seed=3)
+        b = build_expander(20, degree=4, seed=3)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_expander_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            build_expander(15, degree=3)
+
+    def test_expander_logarithmic_diameter(self):
+        m = build_expander(128, degree=4, seed=1)
+        assert m.diameter() <= 10
+
+    def test_multibutterfly_size(self):
+        m = build_multibutterfly(3, multiplicity=1, seed=0)
+        assert m.num_nodes == 4 * 8
+
+    def test_multibutterfly_connected_any_seed(self):
+        for seed in range(3):
+            m = build_multibutterfly(3, multiplicity=2, seed=seed)
+            assert nx.is_connected(m.graph)
+
+    def test_multibutterfly_contains_backbone(self):
+        m = build_multibutterfly(2, multiplicity=1, seed=0)
+        labels = {lab: v for v, lab in m.labels.items()}
+        assert m.graph.has_edge(labels[(0, 0)], labels[(1, 0)])
+
+
+class TestRegistry:
+    def test_all_keys_resolve(self):
+        for key in all_family_keys():
+            assert family_spec(key).key == key
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            family_spec("hypertorus_9")
+
+    @pytest.mark.parametrize("key", ["mesh_2", "de_bruijn", "tree", "xtree", "butterfly", "ccc"])
+    def test_build_with_size_near_target(self, key):
+        for target in (64, 300):
+            m = family_spec(key).build_with_size(target)
+            assert target / 5 <= m.num_nodes <= 5 * target
+
+    def test_weak_specs_build_weak_machines(self):
+        for key in ("weak_ppn", "weak_hypercube"):
+            assert family_spec(key).build_with_size(32).is_weak
+
+    def test_beta_delta_are_logpoly(self):
+        from repro.asymptotics import LogPoly
+
+        for key in all_family_keys():
+            spec = family_spec(key)
+            assert isinstance(spec.beta, LogPoly)
+            assert isinstance(spec.delta, LogPoly)
+
+    def test_mesh1_equals_linear_array_asymptotics(self):
+        assert family_spec("mesh_1").beta == family_spec("linear_array").beta
+        assert family_spec("mesh_1").delta == family_spec("linear_array").delta
+
+    def test_beta_at_most_linear(self):
+        from repro.asymptotics import LogPoly
+
+        for key in all_family_keys():
+            assert family_spec(key).beta <= LogPoly.n()
+
+    def test_expander_builder_even_product(self):
+        m = family_spec("expander").build_with_size(15)
+        assert (m.num_nodes * 4) % 2 == 0

@@ -1,0 +1,161 @@
+"""Tests for repro.util: integer math, rng, validation, tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    ceil_div,
+    check_positive_int,
+    check_probability,
+    format_table,
+    ilog2,
+    is_perfect_power,
+    is_power_of,
+    is_power_of_two,
+    isqrt_exact,
+    rng_from_seed,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+        assert (ceil_div(a, b) - 1) * b < a or a == 0
+
+
+class TestIlog2:
+    def test_powers(self):
+        for k in range(20):
+            assert ilog2(2**k) == k
+
+    def test_between_powers(self):
+        assert ilog2(5) == 2
+        assert ilog2(1023) == 9
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    @given(st.integers(min_value=1, max_value=2**60))
+    def test_bracketing(self, n):
+        k = ilog2(n)
+        assert 2**k <= n < 2 ** (k + 1)
+
+
+class TestPowerChecks:
+    def test_power_of_two_true(self):
+        assert all(is_power_of_two(2**k) for k in range(16))
+
+    def test_power_of_two_false(self):
+        assert not any(is_power_of_two(x) for x in (0, 3, 6, 12, -4))
+
+    def test_power_of_three(self):
+        assert is_power_of(81, 3)
+        assert not is_power_of(80, 3)
+
+    def test_power_of_rejects_small_base(self):
+        with pytest.raises(ValueError):
+            is_power_of(8, 1)
+
+    def test_perfect_power(self):
+        assert is_perfect_power(64, 3)
+        assert is_perfect_power(64, 2)
+        assert not is_perfect_power(63, 2)
+
+    @given(st.integers(min_value=1, max_value=10**4), st.integers(min_value=1, max_value=5))
+    def test_perfect_power_roundtrip(self, r, e):
+        assert is_perfect_power(r**e, e)
+
+    def test_isqrt_exact(self):
+        assert isqrt_exact(144) == 12
+
+    def test_isqrt_exact_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            isqrt_exact(145)
+
+
+class TestRng:
+    def test_none_is_deterministic(self):
+        a = rng_from_seed(None).integers(0, 1000, 8)
+        b = rng_from_seed(None).integers(0, 1000, 8)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = rng_from_seed(42).integers(0, 1000, 8)
+        b = rng_from_seed(42).integers(0, 1000, 8)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert rng_from_seed(g) is g
+
+    def test_different_seeds_differ(self):
+        a = rng_from_seed(1).integers(0, 10**9)
+        b = rng_from_seed(2).integers(0, 10**9)
+        assert a != b
+
+
+class TestValidation:
+    def test_positive_int_passes(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_positive_int_minimum(self):
+        with pytest.raises(ValueError):
+            check_positive_int(1, "x", minimum=2)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+
+    def test_title(self):
+        out = format_table(["h"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_ragged_rows_padded(self):
+        out = format_table(["a", "b", "c"], [["1"]])
+        assert len(out.splitlines()) == 3
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
