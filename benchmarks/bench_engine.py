@@ -1,0 +1,100 @@
+"""Routing-engine A/B: the vectorized engine vs the reference spec.
+
+Times ``measure_bandwidth`` end-to-end (table build + itinerary
+construction + tick loop) on fresh machines for both engines across four
+registry families, checks the results are identical, and records
+packets/sec and the speedup in ``BENCH_routing.json`` at the repo root
+-- the start of the perf trajectory for the simulator.
+
+The acceptance bar for the vectorized engine is a >= 10x speedup for at
+least one family at n >= 256 (it lands well above that on the richer
+families; the linear array is tick-bound -- many ticks, few active
+packets each -- so vectorization buys less there).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.routing import measure_bandwidth
+from repro.topologies import family_spec
+from repro.traffic import symmetric_traffic
+from repro.util import format_table
+
+# (family, requested size); batch is the measure_bandwidth default (8n).
+CONFIGS = [
+    ("linear_array", 256),
+    ("xtree", 256),
+    ("mesh_2", 256),
+    ("de_bruijn", 256),
+    ("mesh_2", 1024),
+    ("de_bruijn", 1024),
+]
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+
+def _time_engine(key: str, size: int, engine: str):
+    """Build a fresh machine (so shared table caches cannot leak between
+    engines), pre-build the traffic outside the timed region, and time
+    one measure_bandwidth call."""
+    machine = family_spec(key).build_with_size(size)
+    traffic = symmetric_traffic(machine.num_nodes)
+    t0 = time.perf_counter()
+    meas = measure_bandwidth(machine, traffic=traffic, seed=0, engine=engine)
+    return time.perf_counter() - t0, meas
+
+
+def _run_ab():
+    records = []
+    for key, size in CONFIGS:
+        t_fast, fast = _time_engine(key, size, "fast")
+        t_ref, ref = _time_engine(key, size, "reference")
+        assert fast.total_time == ref.total_time, (key, size)
+        assert fast.rate == ref.rate, (key, size)
+        assert fast.max_edge_traffic == ref.max_edge_traffic, (key, size)
+        records.append(
+            {
+                "family": key,
+                "n": size,
+                "num_messages": fast.num_messages,
+                "fast_seconds": round(t_fast, 4),
+                "reference_seconds": round(t_ref, 4),
+                "fast_packets_per_sec": round(fast.num_messages / t_fast, 1),
+                "reference_packets_per_sec": round(
+                    ref.num_messages / t_ref, 1
+                ),
+                "speedup": round(t_ref / t_fast, 2),
+            }
+        )
+    return records
+
+
+def test_engine_speedup(benchmark):
+    records = benchmark.pedantic(_run_ab, rounds=1, iterations=1)
+    _JSON_PATH.write_text(json.dumps(records, indent=2) + "\n")
+
+    rows = [
+        (
+            r["family"],
+            r["n"],
+            r["num_messages"],
+            f"{r['fast_packets_per_sec']:10.0f}",
+            f"{r['reference_packets_per_sec']:10.0f}",
+            f"{r['speedup']:6.1f}x",
+        )
+        for r in records
+    ]
+    emit(
+        format_table(
+            ["family", "n", "msgs", "fast pkt/s", "ref pkt/s", "speedup"],
+            rows,
+            title="Routing engine A/B (identical results; BENCH_routing.json)",
+        )
+    )
+
+    big = [r for r in records if r["n"] >= 256]
+    assert max(r["speedup"] for r in big) >= 10.0, big

@@ -68,9 +68,13 @@ def routing_congestion(
     twice (once per direction); the result is halved, which is still a
     valid congestion of a one-path-per-pair routing up to the +/-1 of
     direction asymmetry (and exact at Theta level).
+
+    The complete-traffic case runs on the machine-shared dense next-hop
+    tables, accumulating all destination trees at once level by level
+    (deepest first) with vectorized scatter-adds.
     """
     n = machine.num_nodes
-    tables = NextHopTables(machine)
+    tables = NextHopTables.shared(machine)
 
     if traffic is not None:
         loads: dict[tuple[int, int], int] = {}
@@ -81,25 +85,36 @@ def routing_congestion(
                 loads[key] = loads.get(key, 0) + w
         return max(loads.values()) if loads else 0
 
-    # Complete traffic: subtree sizes along each destination tree.
-    edge_index: dict[tuple[int, int], int] = {}
-    for i, (u, v) in enumerate(machine.graph.edges()):
-        edge_index[(u, v) if u < v else (v, u)] = i
-    loads_arr = np.zeros(len(edge_index), dtype=np.int64)
+    # Complete traffic: subtree sizes along each destination tree.  A
+    # node at BFS level L hands its accumulated subtree size to its
+    # parent at level L-1, so sweeping levels deepest-first accumulates
+    # every tree simultaneously: sizes[v, d] = subtree size of v in the
+    # destination-d tree, and each hand-off loads the (v, parent) link.
+    dense = tables.ensure_dense()
+    dist, nxt = dense.dist, dense.next_hop
+    if machine.num_edges == 0:
+        return 0
+    # Map each directed edge id to its undirected edge index.
+    csr = machine.csr_adjacency()
+    lo = np.minimum(csr.edge_src, csr.edge_dst).astype(np.int64)
+    hi = np.maximum(csr.edge_src, csr.edge_dst).astype(np.int64)
+    undirected = {}
+    for a, b in zip(lo, hi):
+        undirected.setdefault((int(a), int(b)), len(undirected))
+    uid_of_edge = np.fromiter(
+        (undirected[(int(a), int(b))] for a, b in zip(lo, hi)),
+        dtype=np.int64,
+        count=len(lo),
+    )
+    loads_arr = np.zeros(len(undirected), dtype=np.int64)
 
-    for d in range(n):
-        dist = tables.distance_array(d)
-        nxt = tables._next[d]  # built by distance_array
-        order = np.argsort(dist, kind="stable")[::-1]  # farthest first
-        sizes = np.ones(n, dtype=np.int64)
-        for v in order:
-            v = int(v)
-            if v == d:
-                continue
-            p = int(nxt[v])
-            sizes[p] += sizes[v]
-            key = (v, p) if v < p else (p, v)
-            loads_arr[edge_index[key]] += sizes[v]
+    sizes = np.ones((n, n), dtype=np.int64)
+    for level in range(int(dist.max()), 0, -1):
+        v_idx, d_idx = np.nonzero(dist == level)
+        parents = nxt[v_idx, d_idx].astype(np.int64)
+        contrib = sizes[v_idx, d_idx]
+        np.add.at(sizes, (parents, d_idx), contrib)
+        np.add.at(loads_arr, uid_of_edge[dense.next_eid[v_idx, d_idx]], contrib)
     # Ordered pairs were routed (every s->d); halve for unordered.
     return int(np.ceil(loads_arr.max() / 2)) if len(loads_arr) else 0
 

@@ -5,6 +5,7 @@ Commands:
 * ``tables``      -- print Tables 1-4 exactly as the benches derive them;
 * ``figure1``     -- print the Figure-1 series for a (guest, host, n);
 * ``bandwidth``   -- measure a machine's bandwidth three ways;
+* ``saturation``  -- open-loop offered-load sweep (rate/latency curve);
 * ``emulate``     -- run a guest-on-host emulation and report slowdown;
 * ``catalog``     -- print the full guest x host maximum-host-size matrix;
 * ``families``    -- list every registered machine family;
@@ -18,7 +19,7 @@ import sys
 
 from repro.bandwidth import beta_bracket, beta_value
 from repro.emulation import Emulator
-from repro.routing import measure_bandwidth
+from repro.routing import measure_bandwidth, saturation_sweep
 from repro.theory import (
     figure1_data,
     full_catalog,
@@ -103,13 +104,41 @@ def _cmd_figure1(args) -> int:
 def _cmd_bandwidth(args) -> int:
     machine = family_spec(args.family).build_with_size(args.size)
     br = beta_bracket(machine)
-    meas = measure_bandwidth(machine, seed=args.seed)
-    print(f"machine: {machine!r}")
+    meas = measure_bandwidth(machine, seed=args.seed, engine=args.engine)
+    print(f"machine: {machine!r} [engine={args.engine}]")
     print(f"closed form beta:  {beta_value(args.family, machine.num_nodes):.2f} "
           f"(Theta({family_spec(args.family).beta}))")
     print(f"certified bracket: [{br.lower:.2f}, {br.upper:.2f}]")
     print(f"measured rate:     {meas.rate:.2f} packets/tick "
           f"({meas.num_messages} msgs in {meas.total_time} ticks)")
+    return 0
+
+
+def _cmd_saturation(args) -> int:
+    machine = family_spec(args.family).build_with_size(args.size)
+    points = saturation_sweep(
+        machine,
+        rates=args.rates or None,
+        duration=args.duration,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    print(
+        format_table(
+            ["offered r", "delivered/tick", "mean latency", "p99", "max queue"],
+            [
+                (
+                    f"{p.offered_rate:5.2f}",
+                    f"{p.delivered_rate:8.2f}",
+                    f"{p.mean_latency:8.1f}",
+                    f"{p.p99_latency:8.1f}",
+                    p.max_queue,
+                )
+                for p in points
+            ],
+            title=f"Offered-load sweep: {machine!r} [engine={args.engine}]",
+        )
+    )
     return 0
 
 
@@ -165,7 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
     bw.add_argument("family")
     bw.add_argument("--size", type=int, default=256)
     bw.add_argument("--seed", type=int, default=0)
+    bw.add_argument(
+        "--engine",
+        choices=["fast", "reference"],
+        default="fast",
+        help="simulator engine (both give identical results)",
+    )
     bw.set_defaults(fn=_cmd_bandwidth)
+
+    sat = sub.add_parser("saturation", help="offered-load saturation sweep")
+    sat.add_argument("family")
+    sat.add_argument("--size", type=int, default=64)
+    sat.add_argument("--seed", type=int, default=0)
+    sat.add_argument("--duration", type=int, default=128)
+    sat.add_argument(
+        "--rates", type=float, nargs="*", help="offered per-node rates in (0, 1]"
+    )
+    sat.add_argument(
+        "--engine",
+        choices=["fast", "reference"],
+        default="fast",
+        help="simulator engine (both give identical results)",
+    )
+    sat.set_defaults(fn=_cmd_saturation)
 
     em = sub.add_parser("emulate", help="emulate guest on host")
     em.add_argument("guest")

@@ -40,7 +40,7 @@ def _route_edges(
     guest_edges: dict[tuple[Hashable, Hashable], int],
     vmap: dict[Hashable, int],
 ) -> Embedding:
-    tables = NextHopTables(host)
+    tables = NextHopTables.shared(host)
     paths = {
         (u, v): tables.path(vmap[u], vmap[v])
         for (u, v), w in guest_edges.items()

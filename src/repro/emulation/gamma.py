@@ -97,13 +97,14 @@ def build_gamma(
     if alpha <= 0:
         raise ValueError(f"alpha must be positive, got {alpha}")
     n = guest.num_nodes
-    tables = NextHopTables(guest)
+    tables = NextHopTables.shared(guest)
 
     # lambda(G): average distance of the witness embedding.
-    total = 0
-    for d in range(n):
-        total += int(tables.distance_array(d).sum())
-    lam = total / (n * (n - 1))
+    if n > 1:
+        total = int(tables.ensure_dense().dist.sum())
+        lam = total / (n * (n - 1))
+    else:
+        lam = 0.0
     cutoff = max(1, round((1 + alpha / 2) * lam))
     if depth is None:
         depth = max(cutoff + 1, round((1 + alpha) * lam))

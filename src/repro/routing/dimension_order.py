@@ -92,6 +92,23 @@ class DimensionOrderRouter:
 def dimension_order_route(
     machine: Machine, messages: list[tuple[int, int]]
 ) -> list[list[int]]:
-    """Full e-cube itineraries (every hop explicit) for the simulator."""
-    router = DimensionOrderRouter(machine)
-    return [router.path(s, d) for s, d in messages]
+    """Full e-cube itineraries (every hop explicit) for the simulator.
+
+    Batched: the coordinate tables are built once per machine (cached on
+    it), and each distinct (src, dst) pair's path is constructed once and
+    shared across repeated messages -- large symmetric batches repeat
+    pairs heavily, so this removes most per-message path walks.
+    """
+    router = machine.__dict__.get("_dimension_order_router")
+    if router is None:
+        router = DimensionOrderRouter(machine)
+        machine.__dict__["_dimension_order_router"] = router
+    paths: dict[tuple[int, int], list[int]] = {}
+    out = []
+    for s, d in messages:
+        key = (s, d)
+        path = paths.get(key)
+        if path is None:
+            path = paths[key] = router.path(s, d)
+        out.append(list(path))
+    return out

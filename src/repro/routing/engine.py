@@ -1,0 +1,193 @@
+"""The vectorized array-backed routing engine (``engine="fast"``).
+
+Tick-for-tick equivalent to the reference Python loop in
+:mod:`repro.routing.simulator` -- same delivery times, same per-link
+traffic, same max queue depth -- but every per-tick step is a NumPy
+operation over flat arrays instead of a Python scan over dicts:
+
+* queue state is a packet -> directed-edge assignment vector plus a
+  per-link occupancy counter (no deques/heaps);
+* queue arbitration (FIFO insertion order, or farthest-first with
+  insertion-order ties) is a single int64 composite key per packet, so
+  picking each link's winner is one ``lexsort`` over waiting packets;
+* weak-machine port limits are resolved by ranking each node's occupied
+  links by ``(-queue length, edge id)`` -- the same deterministic order
+  the reference uses -- with one more ``lexsort``;
+* next hops and priorities come from the machine-shared dense
+  :class:`~repro.routing.tables.NextHopTables` matrices, so a tick costs
+  O(waiting packets) vector work, independent of how many Python-level
+  queue objects the reference would have scanned.
+
+The deterministic scan order both engines share is ascending directed
+edge id, i.e. lexicographic ``(u, v)``; see docs/PERFORMANCE.md for the
+full determinism contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.tables import NextHopTables
+from repro.topologies.base import Machine
+
+__all__ = ["route_fast"]
+
+
+def route_fast(
+    machine: Machine,
+    tables: NextHopTables,
+    legs: list[list[int]],
+    release_times: list[int],
+    max_ticks: int,
+    policy: str,
+    validate: bool = False,
+) -> tuple[int, np.ndarray, dict[tuple[int, int], int], int]:
+    """Route collapsed itineraries; returns (total_time, delivery_times,
+    edge_traffic, max_queue) exactly as the reference engine would."""
+    npkts = len(legs)
+    csr = machine.csr_adjacency()
+    dense = tables.ensure_dense()
+    dist, next_eid = dense.dist, dense.next_eid
+    edge_src, edge_dst = csr.edge_src, csr.edge_dst
+    num_edges = csr.num_directed_edges
+    port_limit = machine.port_limit
+    fifo = policy == "fifo"
+    n = machine.num_nodes
+    prio_base = np.int64(n) << 32  # priorities fit: distances < n < 2^31
+
+    # Flattened itineraries.
+    leg_len = np.fromiter((len(leg) for leg in legs), dtype=np.int64, count=npkts)
+    leg_ptr = np.zeros(npkts + 1, dtype=np.int64)
+    np.cumsum(leg_len, out=leg_ptr[1:])
+    leg_flat = np.fromiter(
+        (x for leg in legs for x in leg), dtype=np.int64, count=int(leg_ptr[-1])
+    )
+    fin = leg_flat[leg_ptr[1:] - 1]
+
+    stage = np.ones(npkts, dtype=np.int64)
+    delivered = np.full(npkts, -1, dtype=np.int64)
+    edge = np.full(npkts, -1, dtype=np.int64)  # queue each packet waits in
+    comp = np.zeros(npkts, dtype=np.int64)  # arbitration key within queue
+    qlen = np.zeros(num_edges, dtype=np.int64)
+    traffic = np.zeros(num_edges, dtype=np.int64)
+    max_queue = 0
+    seq = 0  # global enqueue sequence (FIFO order / priority ties)
+
+    def enqueue(pids: np.ndarray, at_nodes: np.ndarray) -> None:
+        """Append packets to the queue of their next-hop link, in order."""
+        nonlocal seq, max_queue
+        target = leg_flat[leg_ptr[pids] + stage[pids]]
+        eids = next_eid[at_nodes, target].astype(np.int64)
+        edge[pids] = eids
+        seqs = np.arange(seq, seq + len(pids), dtype=np.int64)
+        seq += len(pids)
+        if fifo:
+            comp[pids] = seqs
+        else:
+            # (-remaining distance, seq) ascending == farthest-first with
+            # insertion-order ties, as one int64 composite.
+            rem = dist[at_nodes, fin[pids]].astype(np.int64)
+            comp[pids] = (prio_base - (rem << 32)) | seqs
+        np.add.at(qlen, eids, 1)
+        max_queue = max(max_queue, int(qlen[eids].max()))
+
+    # Injection bookkeeping: self-messages deliver instantly; release-0
+    # packets enqueue before the clock starts; the rest wait in `pending`.
+    release = np.asarray(release_times, dtype=np.int64)
+    is_self = (leg_len == 2) & (leg_flat[leg_ptr[:-1]] == fin)
+    delivered[is_self] = release[is_self]
+    travelling = np.nonzero(~is_self)[0]
+    undelivered = len(travelling)
+    now = travelling[release[travelling] == 0]
+    if len(now):
+        enqueue(now, leg_flat[leg_ptr[now]])
+    later = travelling[release[travelling] > 0]
+    pending: dict[int, np.ndarray] = {}
+    if len(later):
+        order = np.lexsort((later, release[later]))
+        later = later[order]
+        times, starts = np.unique(release[later], return_index=True)
+        for t, chunk in zip(times, np.split(later, starts[1:])):
+            pending[int(t)] = chunk
+
+    tick = 0
+    while undelivered > 0:
+        tick += 1
+        injected = pending.pop(tick, None)
+        if injected is not None:
+            enqueue(injected, leg_flat[leg_ptr[injected]])
+        if tick > max_ticks:
+            raise RuntimeError(
+                f"routing did not finish in {max_ticks} ticks "
+                f"({undelivered} packets left)"
+            )
+        waiting = np.nonzero(edge >= 0)[0]
+        if not len(waiting):
+            continue  # everything in flight is awaiting injection
+
+        # Winner of each occupied link: first by arbitration key.
+        wedge = edge[waiting]
+        order = np.lexsort((comp[waiting], wedge))
+        sorted_pkts, sorted_edges = waiting[order], wedge[order]
+        head = np.empty(len(sorted_edges), dtype=bool)
+        head[0] = True
+        head[1:] = sorted_edges[1:] != sorted_edges[:-1]
+        movers, medges = sorted_pkts[head], sorted_edges[head]  # edge-id order
+
+        if port_limit is not None:
+            # Weak machine: each node serves its port_limit busiest links
+            # (ties by edge id == lexicographic (u, v)).
+            nodes = edge_src[medges].astype(np.int64)
+            rank_order = np.lexsort((medges, -qlen[medges], nodes))
+            nodes_sorted = nodes[rank_order]
+            group_start = np.empty(len(nodes_sorted), dtype=bool)
+            group_start[0] = True
+            group_start[1:] = nodes_sorted[1:] != nodes_sorted[:-1]
+            within = np.arange(len(nodes_sorted)) - np.maximum.accumulate(
+                np.where(group_start, np.arange(len(nodes_sorted)), 0)
+            )
+            keep = np.zeros(len(medges), dtype=bool)
+            keep[rank_order[within < port_limit]] = True
+            movers, medges = movers[keep], medges[keep]
+
+        if validate:
+            if len(np.unique(medges)) != len(medges):
+                raise AssertionError(
+                    f"tick {tick}: a directed link moved two packets"
+                )
+            if port_limit is not None and len(medges):
+                sends = np.bincount(edge_src[medges], minlength=n)
+                if sends.max() > port_limit:
+                    raise AssertionError(
+                        f"tick {tick}: a weak node drove {sends.max()} links"
+                    )
+
+        qlen[medges] -= 1
+        traffic[medges] += 1
+
+        # Arrivals, processed in ascending edge-id order (the shared
+        # deterministic scan order -- it fixes enqueue sequence numbers).
+        arrive = edge_dst[medges].astype(np.int64)
+        target = leg_flat[leg_ptr[movers] + stage[movers]]
+        at_last = stage[movers] == leg_len[movers] - 1
+        done = (arrive == fin[movers]) & at_last
+        advance = (arrive == target) & ~done
+        if advance.any():
+            stage[movers[advance]] += 1
+            adv_p = movers[advance]
+            done[advance] = (arrive[advance] == fin[adv_p]) & (
+                stage[adv_p] == leg_len[adv_p] - 1
+            )
+        if done.any():
+            done_p = movers[done]
+            delivered[done_p] = tick
+            edge[done_p] = -1
+            undelivered -= len(done_p)
+        if not done.all():
+            enqueue(movers[~done], arrive[~done])
+
+    nonzero = np.nonzero(traffic)[0]
+    edge_traffic = {
+        (int(edge_src[e]), int(edge_dst[e])): int(traffic[e]) for e in nonzero
+    }
+    return tick, delivered, edge_traffic, max_queue

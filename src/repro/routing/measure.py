@@ -52,13 +52,15 @@ def measure_bandwidth(
     strategy: str = "shortest",
     policy: str = "farthest",
     seed: int | np.random.Generator | None = None,
+    engine: str = "fast",
 ) -> BandwidthMeasurement:
     """Estimate the operational bandwidth of ``machine`` under ``traffic``.
 
     Defaults: symmetric traffic (the distribution defining ``beta(M)``)
     and a batch of ``8 * n`` messages, which is deep enough to saturate
     the bottleneck links of every family in the registry while staying
-    laptop-fast.
+    laptop-fast.  ``engine`` selects the simulator implementation
+    (``"fast"`` or ``"reference"``; both give identical results).
     """
     if strategy not in _STRATEGIES:
         raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
@@ -82,7 +84,7 @@ def measure_bandwidth(
     else:
         itineraries = valiant_route(machine, messages, seed=rng)
 
-    sim = RoutingSimulator(machine, policy=policy)
+    sim = RoutingSimulator(machine, policy=policy, engine=engine)
     result: RoutingResult = sim.route(itineraries)
     return BandwidthMeasurement(
         machine_name=machine.name,

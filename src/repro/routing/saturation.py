@@ -51,6 +51,7 @@ def saturation_sweep(
     traffic: TrafficDistribution | None = None,
     policy: str = "fifo",
     seed: int | np.random.Generator | None = None,
+    engine: str = "fast",
 ) -> list[SaturationPoint]:
     """Measure delivered rate and latency at each offered per-node rate.
 
@@ -58,7 +59,8 @@ def saturation_sweep(
     with probability ``r`` per tick for ``duration`` ticks (destinations
     drawn from ``traffic``, default symmetric); the run then drains.
     Delivered rate is measured over the injection window; latency is per
-    packet (delivery - release).
+    packet (delivery - release).  ``engine`` selects the simulator
+    implementation (``"fast"`` or ``"reference"``).
     """
     check_positive_int(duration, "duration")
     rng = rng_from_seed(seed)
@@ -68,7 +70,7 @@ def saturation_sweep(
     if rates is None:
         rates = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
     points = []
-    sim = RoutingSimulator(machine, policy=policy)
+    sim = RoutingSimulator(machine, policy=policy, engine=engine)
     for r in rates:
         if not 0 < r <= 1:
             raise ValueError(f"rates must be in (0, 1], got {r}")
@@ -107,9 +109,12 @@ def saturation_bandwidth(
     rates: list[float] | None = None,
     duration: int = 128,
     seed: int | np.random.Generator | None = None,
+    engine: str = "fast",
 ) -> float:
     """The plateau of the delivered-rate curve: an operational beta."""
-    points = saturation_sweep(machine, rates=rates, duration=duration, seed=seed)
+    points = saturation_sweep(
+        machine, rates=rates, duration=duration, seed=seed, engine=engine
+    )
     if not points:
         raise RuntimeError("no load points measured")
     return max(p.delivered_rate for p in points)

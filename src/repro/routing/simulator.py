@@ -14,6 +14,18 @@ Model (matching the paper's network-machine assumptions):
 Packets carry an itinerary of waypoints (one for shortest-path routing,
 two for Valiant routing); between waypoints they follow the
 :class:`~repro.routing.tables.NextHopTables`.
+
+Two engines implement the model and produce identical results
+(delivery times, edge traffic, max queue) for the same inputs:
+
+* ``engine="reference"`` -- the pure-Python tick loop below, kept as the
+  executable specification;
+* ``engine="fast"`` (the default) -- the vectorized array engine in
+  :mod:`repro.routing.engine`, ~10-100x faster on large batches.
+
+Both scan occupied links in ascending ``(u, v)`` order each tick; that
+canonical order (not accidental dict order) is part of the spec, since
+it fixes FIFO insertion sequences and priority ties downstream.
 """
 
 from __future__ import annotations
@@ -24,12 +36,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.routing.engine import route_fast
 from repro.routing.tables import NextHopTables
 from repro.topologies.base import Machine
 
 __all__ = ["RoutingResult", "RoutingSimulator"]
 
 _POLICIES = ("fifo", "farthest")
+_ENGINES = ("fast", "reference")
 
 
 @dataclass
@@ -44,7 +58,13 @@ class RoutingResult:
 
     @property
     def delivery_rate(self) -> float:
-        """Average packets delivered per tick: the operational bandwidth."""
+        """Average packets delivered per tick: the operational bandwidth.
+
+        An empty batch has rate 0.0; a batch delivered in zero ticks
+        (self-messages only) has infinite rate.
+        """
+        if self.num_packets == 0:
+            return 0.0
         if self.total_time == 0:
             return float("inf")
         return self.num_packets / self.total_time
@@ -64,17 +84,24 @@ class RoutingSimulator:
     """Synchronous SAF simulator over a :class:`Machine`."""
 
     def __init__(
-        self, machine: Machine, policy: str = "farthest", validate: bool = False
+        self,
+        machine: Machine,
+        policy: str = "farthest",
+        validate: bool = False,
+        engine: str = "fast",
     ):
         if policy not in _POLICIES:
             raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.machine = machine
         self.policy = policy
+        self.engine = engine
         #: When True, the per-tick model invariants (one packet per
         #: directed link, weak-port limits) are asserted on every tick --
         #: a debugging/verification mode used by the test suite.
         self.validate = validate
-        self.tables = NextHopTables(machine)
+        self.tables = NextHopTables.shared(machine)
 
     # -- public API ------------------------------------------------------------
 
@@ -102,12 +129,17 @@ class RoutingSimulator:
         npkts = len(itineraries)
         if npkts == 0:
             return RoutingResult(0, 0, np.zeros(0, dtype=np.int64), {})
-        if max_ticks is None:
-            # Safe upper bound: every packet could serialise over the
-            # whole itinerary on a single link (plus injection horizon).
-            max_ticks = 4 * npkts * self.machine.num_nodes + 64
-            if release_times is not None and len(release_times):
-                max_ticks += int(max(release_times))
+
+        if release_times is None:
+            release_times = [0] * npkts
+        if len(release_times) != npkts:
+            raise ValueError(
+                f"{len(release_times)} release times for {npkts} packets"
+            )
+        release_times = [int(t) for t in release_times]
+        for pid, t_rel in enumerate(release_times):
+            if t_rel < 0:
+                raise ValueError(f"negative release time for packet {pid}")
 
         # Packet state: current waypoint index and itinerary.  Consecutive
         # duplicate waypoints are collapsed so waypoint advancement in
@@ -122,6 +154,46 @@ class RoutingSimulator:
             if len(collapsed) == 1:
                 collapsed.append(collapsed[0])
             legs.append(collapsed)
+
+        if self.engine == "fast":
+            self.tables.ensure_dense()  # itinerary_hops must not fall back
+        if max_ticks is None:
+            # While any packet is waiting, at least one hop completes per
+            # tick, so total itinerary hops plus the injection horizon
+            # bounds the finish time; runaway runs now fail fast instead
+            # of spinning for the old quadratic 4*npkts*n default.
+            max_ticks = (
+                self.tables.itinerary_hops(legs) + max(release_times) + 64
+            )
+
+        if self.engine == "fast":
+            total_time, delivered, edge_traffic, max_queue = route_fast(
+                self.machine,
+                self.tables,
+                legs,
+                release_times,
+                max_ticks,
+                self.policy,
+                validate=self.validate,
+            )
+            return RoutingResult(
+                total_time=total_time,
+                num_packets=npkts,
+                delivery_times=delivered,
+                edge_traffic=edge_traffic,
+                max_queue=max_queue,
+            )
+        return self._route_reference(legs, release_times, max_ticks)
+
+    # -- the reference engine (executable specification) ----------------------
+
+    def _route_reference(
+        self,
+        legs: list[list[int]],
+        release_times: list[int],
+        max_ticks: int,
+    ) -> RoutingResult:
+        npkts = len(legs)
         stage = [1] * npkts  # index of current target waypoint
         delivered = np.full(npkts, -1, dtype=np.int64)
 
@@ -157,18 +229,10 @@ class RoutingSimulator:
                 seq += 1
             max_queue = max(max_queue, len(q))
 
-        if release_times is None:
-            release_times = [0] * npkts
-        if len(release_times) != npkts:
-            raise ValueError(
-                f"{len(release_times)} release times for {npkts} packets"
-            )
         pending: dict[int, list[int]] = {}
         undelivered = 0
         for pid, it in enumerate(legs):
-            t_rel = int(release_times[pid])
-            if t_rel < 0:
-                raise ValueError(f"negative release time for packet {pid}")
+            t_rel = release_times[pid]
             if len(it) == 2 and it[0] == it[-1]:
                 # A true self-message (no intermediate waypoints) is
                 # delivered instantly; a round trip like [s, w, s] travels.
@@ -191,18 +255,21 @@ class RoutingSimulator:
                     f"({undelivered} packets left)"
                 )
             moves: list[tuple[int, int, int]] = []  # (pid, from, to)
+            # Canonical deterministic scan order: ascending (u, v).
             if port_limit is None:
-                candidates = list(queues.items())
+                candidates = sorted(queues.items())
             else:
                 # Weak machine: each node picks its port_limit busiest queues.
                 per_node: dict[int, list[tuple[int, tuple[int, int]]]] = {}
                 for (u, v), q in queues.items():
                     per_node.setdefault(u, []).append((len(q), (u, v)))
                 candidates = []
-                for u, qs in per_node.items():
+                for u in sorted(per_node):
+                    qs = per_node[u]
                     qs.sort(key=lambda t: (-t[0], t[1]))
                     for _, key in qs[:port_limit]:
                         candidates.append((key, queues[key]))
+                candidates.sort()
 
             for (u, v), q in candidates:
                 if not q:

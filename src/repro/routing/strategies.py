@@ -7,6 +7,12 @@ A strategy turns (source, destination) messages into itineraries:
 * :func:`valiant_route` -- Valiant/VLB two-phase randomised routing via a
   uniformly random intermediate node, the standard congestion-smoothing
   baseline on hypercubic networks.
+
+Construction is batched: messages are validated with one vectorized
+range check instead of a per-message Python test, and the itinerary
+lists are emitted in bulk.  (The per-hop table lookups themselves happen
+inside the simulator, against the machine-shared dense
+:class:`~repro.routing.tables.NextHopTables`.)
 """
 
 from __future__ import annotations
@@ -19,15 +25,24 @@ from repro.util import rng_from_seed
 __all__ = ["shortest_path_route", "valiant_route"]
 
 
+def _checked_endpoints(
+    machine: Machine, messages: list[tuple[int, int]]
+) -> np.ndarray:
+    """Messages as an (m, 2) int array, range-checked in one pass."""
+    n = machine.num_nodes
+    msgs = np.asarray(messages, dtype=np.int64).reshape(-1, 2)
+    bad = np.nonzero((msgs < 0).any(axis=1) | (msgs >= n).any(axis=1))[0]
+    if len(bad):
+        s, d = (int(x) for x in msgs[bad[0]])
+        raise ValueError(f"message ({s}, {d}) out of range for n={n}")
+    return msgs
+
+
 def shortest_path_route(
     machine: Machine, messages: list[tuple[int, int]]
 ) -> list[list[int]]:
     """Direct itineraries ``[src, dst]``."""
-    n = machine.num_nodes
-    for s, d in messages:
-        if not (0 <= s < n and 0 <= d < n):
-            raise ValueError(f"message ({s}, {d}) out of range for n={n}")
-    return [[s, d] for s, d in messages]
+    return _checked_endpoints(machine, messages).tolist()
 
 
 def valiant_route(
@@ -36,12 +51,7 @@ def valiant_route(
     seed: int | np.random.Generator | None = None,
 ) -> list[list[int]]:
     """Two-phase itineraries ``[src, random intermediate, dst]``."""
-    n = machine.num_nodes
+    msgs = _checked_endpoints(machine, messages)
     rng = rng_from_seed(seed)
-    mids = rng.integers(0, n, size=len(messages))
-    out = []
-    for (s, d), w in zip(messages, np.asarray(mids, dtype=int)):
-        if not (0 <= s < n and 0 <= d < n):
-            raise ValueError(f"message ({s}, {d}) out of range for n={n}")
-        out.append([s, int(w), d])
-    return out
+    mids = rng.integers(0, machine.num_nodes, size=len(msgs))
+    return np.column_stack([msgs[:, 0], mids, msgs[:, 1]]).tolist()

@@ -17,11 +17,48 @@ routing simulator; the original structured labels are kept in ``labels``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Hashable, Mapping
 
 import networkx as nx
+import numpy as np
 
-__all__ = ["Machine"]
+__all__ = ["CSRAdjacency", "Machine"]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Flat CSR view of a machine's adjacency, built once per machine.
+
+    ``indices[indptr[v]:indptr[v + 1]]`` are the neighbours of ``v`` in
+    ascending order.  Each CSR slot is also a *directed edge id*: slot
+    ``e`` is the directed link ``edge_src[e] -> indices[e]``, and because
+    rows are stored in node order with sorted columns, directed edge ids
+    are exactly the lexicographic order of ``(u, v)`` pairs.  The
+    vectorized routing engine and the next-hop tables index all their
+    per-link state by these ids.
+    """
+
+    indptr: np.ndarray  # int32, shape (n + 1,)
+    indices: np.ndarray  # int32, shape (num_directed_edges,)
+    edge_src: np.ndarray  # int32, shape (num_directed_edges,)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        """Destination node of each directed edge id (alias of indices)."""
+        return self.indices
+
+    def degrees(self) -> np.ndarray:
+        """Per-node degree vector (row lengths)."""
+        return np.diff(self.indptr)
 
 
 class Machine:
@@ -51,6 +88,7 @@ class Machine:
             v: data.get("orig", v) for v, data in relabelled.nodes(data=True)
         }
         self._diameter: int | None = None
+        self._csr: CSRAdjacency | None = None
 
     def _default_name(self) -> str:
         if self.params:
@@ -91,6 +129,23 @@ class Machine:
     def neighbors(self, v: int):
         """Neighbours of processor ``v``."""
         return self.graph.neighbors(v)
+
+    def csr_adjacency(self) -> CSRAdjacency:
+        """Flat int32 CSR adjacency (cached; neighbours sorted per row)."""
+        if self._csr is None:
+            n = self.num_nodes
+            indptr = np.zeros(n + 1, dtype=np.int32)
+            rows = []
+            for v in range(n):
+                nbrs = sorted(self.graph.neighbors(v))
+                indptr[v + 1] = indptr[v] + len(nbrs)
+                rows.extend(nbrs)
+            indices = np.asarray(rows, dtype=np.int32)
+            edge_src = np.repeat(
+                np.arange(n, dtype=np.int32), np.diff(indptr)
+            ).astype(np.int32)
+            self._csr = CSRAdjacency(indptr, indices, edge_src)
+        return self._csr
 
     # -- metrics -------------------------------------------------------------
 

@@ -1,0 +1,111 @@
+"""Engine equivalence: the vectorized engine vs the reference spec.
+
+The fast array engine must reproduce the reference Python engine
+*exactly* -- same delivery times, same per-link traffic counts, same max
+queue depth -- for every machine family, both arbitration policies, both
+port-limit modes, and any seed.  These tests sweep that grid at small n
+(every registry family) and probe the itinerary edge cases (waypoints,
+staggered releases, self-messages) on a few representative machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    RoutingSimulator,
+    dimension_order_route,
+    valiant_route,
+)
+from repro.topologies import all_family_keys, build_mesh, build_ring, family_spec
+from repro.traffic import symmetric_traffic
+
+POLICIES = ("fifo", "farthest")
+PORT_LIMITS = (None, 1)
+
+
+def assert_engines_agree(machine, itineraries, release_times=None, policy="farthest"):
+    """Route the same batch on both engines and compare all observables."""
+    ref = RoutingSimulator(
+        machine, policy=policy, engine="reference", validate=True
+    ).route(itineraries, release_times=release_times)
+    fast = RoutingSimulator(
+        machine, policy=policy, engine="fast", validate=True
+    ).route(itineraries, release_times=release_times)
+    assert ref.total_time == fast.total_time
+    assert np.array_equal(ref.delivery_times, fast.delivery_times)
+    assert ref.edge_traffic == fast.edge_traffic
+    assert ref.max_queue == fast.max_queue
+    return ref
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("port_limit", PORT_LIMITS)
+@pytest.mark.parametrize("key", all_family_keys())
+def test_every_family_agrees(key, policy, port_limit):
+    machine = family_spec(key).build_with_size(16)
+    machine.port_limit = port_limit
+    n = machine.num_nodes
+    msgs = symmetric_traffic(n).sample_messages(4 * n, seed=3)
+    assert_engines_agree(machine, [[s, d] for s, d in msgs], policy=policy)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_seed_sweep_on_mesh(policy, seed):
+    machine = build_mesh(5, 2)
+    msgs = symmetric_traffic(25).sample_messages(150, seed=seed)
+    assert_engines_agree(machine, [[s, d] for s, d in msgs], policy=policy)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_valiant_waypoints_agree(policy):
+    machine = family_spec("hypercube").build_with_size(16)
+    msgs = symmetric_traffic(16).sample_messages(120, seed=1)
+    its = valiant_route(machine, msgs, seed=5)
+    assert_engines_agree(machine, its, policy=policy)
+
+
+def test_dimension_order_paths_agree():
+    machine = build_mesh(4, 2)
+    msgs = symmetric_traffic(16).sample_messages(96, seed=2)
+    assert_engines_agree(machine, dimension_order_route(machine, msgs))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("port_limit", PORT_LIMITS)
+def test_open_loop_releases_agree(policy, port_limit):
+    machine = family_spec("mesh_2").build_with_size(16)
+    machine.port_limit = port_limit
+    rng = np.random.default_rng(11)
+    its, rel = [], []
+    for _ in range(160):
+        s, d = (int(x) for x in rng.integers(0, machine.num_nodes, size=2))
+        its.append([s, d])
+        rel.append(int(rng.integers(0, 40)))
+    assert_engines_agree(machine, its, release_times=rel, policy=policy)
+
+
+def test_mixed_edge_case_itineraries_agree():
+    machine = build_ring(8)
+    its = [[0, 4, 0], [2, 2], [1, 3, 3, 3, 5], [5, 5, 5], [7, 0], [0, 7]]
+    assert_engines_agree(machine, its)
+
+
+def test_invalid_engine_rejected():
+    with pytest.raises(ValueError):
+        RoutingSimulator(build_ring(6), engine="warp")
+
+
+def test_derived_max_ticks_fails_fast():
+    """The hop-derived default is tight: a run that can finish does, and
+    an explicit too-small budget raises instead of spinning."""
+    machine = build_ring(12)
+    its = [[0, 6]] * 30  # heavy serialisation still within hops bound
+    res = RoutingSimulator(machine).route(its)
+    assert res.total_time <= 30 * 6 + 64
+    with pytest.raises(RuntimeError, match="did not finish"):
+        RoutingSimulator(machine).route(its, max_ticks=2)
+    with pytest.raises(RuntimeError, match="did not finish"):
+        RoutingSimulator(machine, engine="reference").route(its, max_ticks=2)

@@ -79,6 +79,39 @@ class TestNextHopTables:
         for v in range(16):
             assert a.next_hop(v, 9) == b.next_hop(v, 9)
 
+    def test_dense_matches_lazy(self):
+        """The batched dense build is bit-identical to per-dest BFS."""
+        for m in (build_hypercube(4), build_de_bruijn(5), build_tree(4)):
+            lazy = NextHopTables(m)
+            dense_t = NextHopTables(m)
+            dense = dense_t.ensure_dense()
+            n = m.num_nodes
+            for d in range(n):
+                assert np.array_equal(lazy.distance_array(d), dense.dist[:, d])
+                assert np.array_equal(lazy.next_array(d), dense.next_hop[:, d])
+
+    def test_dense_edge_ids_consistent(self):
+        """next_eid slots point at the CSR slot of the chosen next hop."""
+        m = build_de_bruijn(4)
+        t = NextHopTables(m)
+        dense = t.ensure_dense()
+        csr = m.csr_adjacency()
+        n = m.num_nodes
+        for d in range(n):
+            for v in range(n):
+                if v == d:
+                    assert dense.next_eid[v, d] == -1
+                    continue
+                e = dense.next_eid[v, d]
+                assert csr.edge_src[e] == v
+                assert csr.indices[e] == dense.next_hop[v, d]
+
+    def test_shared_tables_cached_per_machine(self):
+        m = build_ring(8)
+        assert NextHopTables.shared(m) is NextHopTables.shared(m)
+        sim_a, sim_b = RoutingSimulator(m), RoutingSimulator(m, policy="fifo")
+        assert sim_a.tables is sim_b.tables
+
 
 class TestSimulator:
     def test_single_packet_takes_distance_ticks(self):
@@ -111,14 +144,26 @@ class TestSimulator:
         assert res.total_time == 10
 
     def test_empty_batch(self):
+        """An empty batch has rate 0.0 (not inf) and zero latency."""
         m = build_ring(6)
         res = RoutingSimulator(m).route([])
-        assert res.total_time == 0 and res.delivery_rate == float("inf")
+        assert res.total_time == 0
+        assert res.delivery_rate == 0.0
+        assert res.mean_latency == 0.0
 
     def test_self_message_instant(self):
         m = build_ring(6)
         res = RoutingSimulator(m).route([[2, 2]])
         assert res.total_time == 0
+
+    def test_self_message_only_batch_rates(self):
+        """Self-messages deliver in zero ticks: infinite rate, zero latency."""
+        m = build_ring(6)
+        res = RoutingSimulator(m).route([[2, 2], [4, 4]])
+        assert res.total_time == 0
+        assert res.num_packets == 2
+        assert res.delivery_rate == float("inf")
+        assert res.mean_latency == 0.0
 
     def test_waypoint_itinerary(self):
         m = build_linear_array(10)
