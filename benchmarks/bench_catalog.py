@@ -11,8 +11,11 @@ from __future__ import annotations
 import pytest
 
 from conftest import emit
+from repro.harness import expand_grid, run_sweep
 from repro.theory import catalog_consistency_violations, full_catalog
 from repro.util import format_table
+
+pytestmark = pytest.mark.slow
 
 REPRESENTATIVE = [
     "linear_array",
@@ -43,8 +46,17 @@ def test_catalog_size(benchmark):
 
 
 def test_catalog_print(benchmark):
-    entries = full_catalog(guests=REPRESENTATIVE, hosts=REPRESENTATIVE)
-    cells = {(e.guest_key, e.host_key): str(e.bound.expr) for e in entries}
+    # The guest x host grid is a 2-axis harness sweep of catalog_cell
+    # jobs; each cell is pure in (guest, host), so the sweep is
+    # store-cacheable and executor-independent.
+    sweep = run_sweep(
+        expand_grid(
+            "catalog_cell",
+            axes={"guest": REPRESENTATIVE, "host": REPRESENTATIVE},
+        )
+    )
+    assert sweep.ok, sweep.errors()
+    cells = {(v["guest"], v["host"]): v["expr"] for v in sweep.values}
     rows = []
     for g in REPRESENTATIVE:
         rows.append([g] + [cells[(g, h)] for h in REPRESENTATIVE])

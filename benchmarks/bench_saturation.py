@@ -14,20 +14,35 @@ machine families and checks the textbook signatures:
 
 from __future__ import annotations
 
+import tempfile
+
 import pytest
 
 from conftest import emit
-from repro.routing import measure_bandwidth, saturation_sweep
+from repro.harness import Job, ResultStore, run_sweep
+from repro.routing import SaturationPoint, measure_bandwidth
 from repro.topologies import family_spec
 from repro.util import format_table
+
+pytestmark = pytest.mark.slow
 
 FAMILIES = ["linear_array", "xtree", "mesh_2", "de_bruijn"]
 RATES = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
 
+#: Module-lifetime result store: five tests share each family's curve,
+#: so every sweep after the first is a cache hit instead of a re-run.
+_STORE = ResultStore(tempfile.mkdtemp(prefix="repro-saturation-"))
+
 
 def _sweep(key: str):
-    m = family_spec(key).build_with_size(64)
-    return m, saturation_sweep(m, rates=RATES, duration=96, seed=0)
+    job = Job(
+        "saturation_sweep",
+        {"family": key, "size": 64, "rates": RATES, "duration": 96, "seed": 0},
+    )
+    result = run_sweep([job], store=_STORE)
+    assert result.ok, result.errors()
+    points = [SaturationPoint(**p) for p in result.values[0]["points"]]
+    return family_spec(key).build_with_size(64), points
 
 
 @pytest.mark.parametrize("key", FAMILIES)

@@ -22,10 +22,12 @@ import pytest
 
 from conftest import emit
 from repro.bandwidth import beta_bracket, beta_value, delta_value
-from repro.routing import measure_bandwidth
+from repro.harness import expand_grid, run_sweep
 from repro.theory import bottleneck_freeness, generate_table4
 from repro.topologies import family_spec
 from repro.util import format_table
+
+pytestmark = pytest.mark.slow
 
 #: Families given the (more expensive) multi-size exponent fit.
 FIT_FAMILIES = [
@@ -142,18 +144,29 @@ def test_bottleneck_freeness(key, benchmark):
 
 
 def test_table4_measured_print(benchmark):
+    # The measured column is a sweep over the family axis: one harness
+    # job per cell, seeds in the spec (bit-identical on any executor).
+    sweep = run_sweep(
+        expand_grid(
+            "measure_bandwidth",
+            axes={"family": AGREE_FAMILIES},
+            base={"size": 200, "seed": 0},
+        )
+    )
+    assert sweep.ok, sweep.errors()
     rows = []
     for key in AGREE_FAMILIES:
         m = family_spec(key).build_with_size(200)
         br = beta_bracket(m)
-        op = measure_bandwidth(m, seed=0)
+        cell = sweep.value_by_spec(family=key)
+        assert cell["n"] == m.num_nodes, (key, cell)
         rows.append(
             (
                 family_spec(key).display,
                 m.num_nodes,
                 f"{beta_value(key, m.num_nodes):8.1f}",
                 f"[{br.lower:7.1f}, {br.upper:7.1f}]",
-                f"{op.rate:8.1f}",
+                f"{cell['rate']:8.1f}",
                 m.diameter(),
                 f"{delta_value(key, m.num_nodes):6.1f}",
             )

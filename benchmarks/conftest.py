@@ -4,9 +4,40 @@ Every bench regenerates one of the paper's tables or figures and prints
 it (run with ``-s`` to see the tables inline; they are also asserted
 against the paper's cells, so a silent green run is already a
 reproduction check).
+
+``--families`` / ``--sizes`` filter the bench grids (currently consumed
+by ``bench_engine.py``) instead of editing the hard-coded defaults::
+
+    pytest benchmarks/bench_engine.py --families mesh_2,de_bruijn --sizes 256
 """
 
 from __future__ import annotations
+
+
+def _csv(text: str) -> list[str]:
+    return [item for item in text.split(",") if item]
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(item) for item in _csv(text)]
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro benches")
+    group.addoption(
+        "--families",
+        dest="bench_families",
+        type=_csv,
+        default=None,
+        help="comma-separated family keys to restrict bench grids to",
+    )
+    group.addoption(
+        "--sizes",
+        dest="bench_sizes",
+        type=_csv_ints,
+        default=None,
+        help="comma-separated machine sizes to restrict bench grids to",
+    )
 
 
 def emit(text: str) -> None:

@@ -9,12 +9,14 @@ Commands:
 * ``emulate``     -- run a guest-on-host emulation and report slowdown;
 * ``catalog``     -- print the full guest x host maximum-host-size matrix;
 * ``families``    -- list every registered machine family;
+* ``sweep``       -- run a cached (optionally parallel) parameter sweep;
 * ``reproduce``   -- run every experiment and write JSON artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bandwidth import beta_bracket, beta_value
@@ -164,6 +166,96 @@ def _cmd_catalog(args) -> int:
     return 0
 
 
+def _parse_scalar(text: str):
+    """CLI axis/set values: JSON scalars when they parse, else strings."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_kv(item: str, flag: str) -> tuple[str, str]:
+    key, sep, value = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"{flag} expects key=value, got {item!r}")
+    return key, value
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness import (
+        ParallelExecutor,
+        ResultStore,
+        SerialExecutor,
+        canonical_json,
+        expand_grid,
+        run_sweep,
+    )
+
+    axes: dict[str, list] = {}
+    if args.families:
+        axes["family"] = list(args.families)
+    if args.sizes:
+        axes["size"] = list(args.sizes)
+    if args.seeds:
+        axes["seed"] = list(range(args.seeds))
+    for item in args.axis or []:
+        key, value = _parse_kv(item, "--axis")
+        axes[key] = [_parse_scalar(v) for v in value.split(",")]
+    base = dict(
+        _parse_kv(item, "--set") for item in args.set or []
+    )
+    base = {k: _parse_scalar(v) for k, v in base.items()}
+    if not axes:
+        raise SystemExit(
+            "no axes given; use --families/--sizes/--seeds or --axis key=v1,v2"
+        )
+
+    try:
+        jobs = expand_grid(args.job, axes, base)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    executor = (
+        ParallelExecutor(
+            max_workers=args.workers, timeout=args.timeout, retries=args.retries
+        )
+        if args.workers > 1
+        else SerialExecutor(timeout=args.timeout, retries=args.retries)
+    )
+    store = ResultStore(args.store) if args.store else None
+    sweep = run_sweep(jobs, executor=executor, store=store, progress=not args.quiet)
+
+    rows = []
+    for r in sweep.results:
+        value = canonical_json(r.value) if r.ok else f"ERROR: {r.error}"
+        if len(value) > 60:
+            value = value[:57] + "..."
+        rows.append(
+            (
+                r.job.label(),
+                "cache" if r.cached else f"{r.seconds:.3f}s",
+                value,
+            )
+        )
+    print(
+        format_table(
+            ["cell", "time", "value"],
+            rows,
+            title=f"Sweep: {args.job} ({len(jobs)} cells, {sweep.executor})",
+        )
+    )
+    print(
+        f"{len(jobs)} cells in {sweep.wall_seconds:.2f}s: "
+        f"{sweep.num_cached} cached, {sweep.num_failed} failed"
+        + (f"; store {sweep.store_stats}" if sweep.store_stats else "")
+    )
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(sweep.as_dict(), indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if sweep.ok else 1
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import reproduce_all
 
@@ -230,6 +322,52 @@ def build_parser() -> argparse.ArgumentParser:
     cat = sub.add_parser("catalog", help="guest x host matrix")
     cat.add_argument("families", nargs="*")
     cat.set_defaults(fn=_cmd_catalog)
+
+    from repro.harness.jobs import BUILTIN_JOBS
+
+    sw = sub.add_parser(
+        "sweep",
+        help="run a cached (optionally parallel) parameter sweep",
+        description=(
+            "Expand a cartesian grid of job specs and run it through the "
+            "sweep harness (repro.harness): results are cached by content "
+            "hash when --store is given, and --workers > 1 fans cells out "
+            "over a process pool with bit-identical results. "
+            f"Registered job aliases: {', '.join(sorted(BUILTIN_JOBS))}; "
+            "any 'module:callable' job function also works."
+        ),
+    )
+    sw.add_argument("job", help="job alias or dotted 'module:callable' path")
+    sw.add_argument("--families", nargs="*", help="axis sugar: family keys")
+    sw.add_argument("--sizes", type=int, nargs="*", help="axis sugar: sizes")
+    sw.add_argument(
+        "--seeds", type=int, help="axis sugar: seeds 0..N-1", metavar="N"
+    )
+    sw.add_argument(
+        "--axis",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="generic sweep axis (repeatable)",
+    )
+    sw.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fixed spec entry shared by every cell (repeatable)",
+    )
+    sw.add_argument("--workers", type=int, default=1, help="process-pool size")
+    sw.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (seconds)"
+    )
+    sw.add_argument(
+        "--retries", type=int, default=1, help="retries per transient failure"
+    )
+    sw.add_argument(
+        "--store", default=None, metavar="DIR", help="result-store directory"
+    )
+    sw.add_argument("--out", default=None, metavar="FILE", help="write full JSON")
+    sw.add_argument("--quiet", action="store_true", help="no progress lines")
+    sw.set_defaults(fn=_cmd_sweep)
 
     rep = sub.add_parser("reproduce", help="run all experiments, write JSON")
     rep.add_argument("--out", default="results")

@@ -54,8 +54,15 @@ class Replication:
 
     @property
     def cv(self) -> float:
-        """Coefficient of variation (std / mean); dispersion at a glance."""
-        return self.std / self.mean if self.mean else float("inf")
+        """Coefficient of variation (std / mean); dispersion at a glance.
+
+        A degenerate all-zero replication has no dispersion, so its cv
+        is 0.0; ``inf`` is reserved for genuine spread around a zero
+        mean (values that cancel).
+        """
+        if self.mean:
+            return self.std / self.mean
+        return 0.0 if self.std == 0.0 else float("inf")
 
     def __str__(self) -> str:
         return (
@@ -68,12 +75,29 @@ def replicate(
     measurement: Callable[[int], float],
     num_seeds: int = 8,
     base_seed: int = 0,
+    *,
+    parallel: int | None = None,
+    executor=None,
 ) -> Replication:
     """Run ``measurement(seed)`` for ``num_seeds`` distinct seeds.
 
     The seeds are ``base_seed, base_seed + 1, ...`` so replications are
-    themselves reproducible.
+    themselves reproducible.  ``parallel=k`` fans the seeds out over a
+    :class:`repro.harness.executors.ParallelExecutor` with ``k``
+    workers (``executor=`` passes one explicitly); because each seed is
+    an independent pure call, the parallel result is bit-identical to
+    the serial one.  Unpicklable measurements (lambdas, closures)
+    degrade gracefully to the serial path.
     """
     check_positive_int(num_seeds, "num_seeds")
+    if executor is None and parallel is not None and parallel > 1:
+        from repro.harness.executors import ParallelExecutor
+
+        executor = ParallelExecutor(max_workers=parallel)
+    if executor is not None:
+        raw = executor.run_callable(
+            measurement, [(base_seed + i,) for i in range(num_seeds)]
+        )
+        return Replication(values=tuple(float(v) for v in raw))
     values = tuple(float(measurement(base_seed + i)) for i in range(num_seeds))
     return Replication(values=values)

@@ -1,0 +1,182 @@
+"""Sweep front-end: cartesian grids of jobs, cached and executed.
+
+:func:`expand_grid` turns ``(fn, axes, base)`` into the cartesian
+product of jobs -- one per cell, each with a complete spec (and hence a
+content hash).  :func:`run_sweep` is the funnel every consumer goes
+through: look each job up in the result store, execute only the misses
+on the chosen executor, persist fresh results, and return a
+:class:`SweepResult` in grid order.
+
+Determinism contract: for the same job list, ``run_sweep`` returns the
+same values no matter the executor, the worker count, or how many cells
+came from the cache -- seeds live in specs, and results are re-ordered
+to submission order.  ``python -m repro sweep`` exposes the same engine
+on the command line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.harness.executors import JobResult, ParallelExecutor, SerialExecutor
+from repro.harness.jobs import Job
+from repro.harness.store import ResultStore
+
+__all__ = ["SweepResult", "expand_grid", "run_sweep"]
+
+
+def expand_grid(
+    fn: str,
+    axes: Mapping[str, Sequence[Any]],
+    base: Mapping[str, Any] | None = None,
+) -> list[Job]:
+    """Cartesian product of ``axes`` over ``base``: one job per cell.
+
+    Axis order fixes cell order (last axis varies fastest, like nested
+    loops); ``base`` supplies spec keys shared by every cell.  An axis
+    may not shadow a base key -- that is almost always a bug.
+    """
+    base = dict(base or {})
+    axes = {key: list(values) for key, values in axes.items()}
+    shadowed = sorted(set(base) & set(axes))
+    if shadowed:
+        raise ValueError(f"axes shadow base spec keys: {shadowed}")
+    for key, values in axes.items():
+        if not values:
+            raise ValueError(f"axis {key!r} is empty; the grid would be too")
+    jobs = []
+    for combo in itertools.product(*axes.values()):
+        spec = dict(base)
+        spec.update(zip(axes.keys(), combo))
+        jobs.append(Job(fn, spec))
+    return jobs
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, in grid order."""
+
+    results: list[JobResult]
+    wall_seconds: float
+    executor: str
+    store_stats: dict[str, Any] | None = None
+
+    @property
+    def values(self) -> list[Any]:
+        """The job values, grid-ordered (``None`` for failed cells)."""
+        return [r.value for r in self.results]
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.num_failed == 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this sweep's cells served from the store."""
+        return self.num_cached / len(self.results) if self.results else 0.0
+
+    def errors(self) -> list[tuple[Job, str]]:
+        """The failed cells as ``(job, error message)`` pairs."""
+        return [(r.job, r.error) for r in self.results if not r.ok]
+
+    def value_by_spec(self, **spec_items: Any) -> Any:
+        """The value of the unique cell whose spec contains ``spec_items``."""
+        matches = [
+            r
+            for r in self.results
+            if all(r.job.spec.get(k) == v for k, v in spec_items.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} cells match {spec_items!r} (want exactly 1)"
+            )
+        return matches[0].value
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready record of the whole sweep (what ``--out`` writes)."""
+        return {
+            "executor": self.executor,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "num_jobs": len(self.results),
+            "num_cached": self.num_cached,
+            "num_failed": self.num_failed,
+            "store": self.store_stats,
+            "results": [r.as_dict() for r in self.results],
+        }
+
+
+def _progress_printer(total: int) -> Callable[[JobResult], None]:
+    done = itertools.count(1)
+
+    def show(result: JobResult) -> None:
+        tag = "cache" if result.cached else f"{result.seconds:.3f}s"
+        status = "" if result.ok else "  FAILED"
+        print(
+            f"[{next(done):>{len(str(total))}}/{total}] "
+            f"{result.job.label()}  {tag}{status}",
+            file=sys.stderr,
+        )
+
+    return show
+
+
+def run_sweep(
+    jobs: Iterable[Job],
+    executor: SerialExecutor | ParallelExecutor | None = None,
+    store: ResultStore | None = None,
+    progress: bool | Callable[[JobResult], None] = False,
+) -> SweepResult:
+    """Run every job, serving repeats from ``store`` when one is given.
+
+    Cache hits never execute; misses run on ``executor`` (default
+    serial) and successful fresh results are persisted.  The returned
+    results are in job order regardless of completion order.
+    """
+    jobs = list(jobs)
+    executor = executor or SerialExecutor()
+    on_result = (
+        _progress_printer(len(jobs))
+        if progress is True
+        else (progress if callable(progress) else None)
+    )
+
+    t0 = time.perf_counter()
+    results: list[JobResult | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for i, job in enumerate(jobs):
+        if store is not None:
+            hit, value = store.get(job)
+            if hit:
+                results[i] = JobResult(
+                    job=job, value=value, attempts=0, cached=True, worker="store"
+                )
+                if on_result is not None:
+                    on_result(results[i])
+                continue
+        pending.append(i)
+
+    if pending:
+        fresh = executor.run([jobs[i] for i in pending], on_result=on_result)
+        for i, result in zip(pending, fresh):
+            results[i] = result
+            if store is not None and result.ok:
+                store.put(result.job, result.value, seconds=result.seconds)
+
+    return SweepResult(
+        results=results,  # type: ignore[arg-type]
+        wall_seconds=time.perf_counter() - t0,
+        executor=executor.description,
+        store_stats=store.stats.as_dict() if store is not None else None,
+    )

@@ -20,7 +20,7 @@ from repro.topologies.base import Machine
 from repro.traffic.distribution import TrafficDistribution, symmetric_traffic
 from repro.util import check_positive_int, rng_from_seed
 
-__all__ = ["BandwidthMeasurement", "measure_bandwidth"]
+__all__ = ["BandwidthMeasurement", "measure_bandwidth", "measure_bandwidth_job"]
 
 _STRATEGIES = ("shortest", "valiant", "dimension_order")
 
@@ -96,3 +96,37 @@ def measure_bandwidth(
         max_edge_traffic=result.max_edge_traffic,
         mean_latency=result.mean_latency,
     )
+
+
+def measure_bandwidth_job(spec: dict) -> dict:
+    """Harness job entry point for :func:`measure_bandwidth`.
+
+    The spec is total (registered as the ``measure_bandwidth`` alias in
+    :mod:`repro.harness.jobs`): ``family`` is required; ``size`` (256),
+    ``strategy`` (``"shortest"``), ``policy`` (``"farthest"``),
+    ``num_messages`` (the ``8n`` default), ``seed`` (0) and ``engine``
+    (``"fast"``) are optional.  Returns a JSON-serializable dict; given
+    the same spec the values are bit-identical in any process.
+    """
+    from repro.topologies.registry import family_spec
+
+    machine = family_spec(spec["family"]).build_with_size(int(spec.get("size", 256)))
+    meas = measure_bandwidth(
+        machine,
+        num_messages=spec.get("num_messages"),
+        strategy=spec.get("strategy", "shortest"),
+        policy=spec.get("policy", "farthest"),
+        seed=int(spec.get("seed", 0)),
+        engine=spec.get("engine", "fast"),
+    )
+    return {
+        "family": spec["family"],
+        "machine": meas.machine_name,
+        "n": machine.num_nodes,
+        "strategy": meas.strategy,
+        "num_messages": meas.num_messages,
+        "total_time": meas.total_time,
+        "rate": meas.rate,
+        "max_edge_traffic": meas.max_edge_traffic,
+        "mean_latency": meas.mean_latency,
+    }

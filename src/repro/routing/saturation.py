@@ -20,7 +20,12 @@ from repro.topologies.base import Machine
 from repro.traffic.distribution import TrafficDistribution, symmetric_traffic
 from repro.util import check_positive_int, rng_from_seed
 
-__all__ = ["SaturationPoint", "saturation_sweep", "saturation_bandwidth"]
+__all__ = [
+    "SaturationPoint",
+    "saturation_bandwidth",
+    "saturation_sweep",
+    "saturation_sweep_job",
+]
 
 
 @dataclass(frozen=True)
@@ -118,3 +123,40 @@ def saturation_bandwidth(
     if not points:
         raise RuntimeError("no load points measured")
     return max(p.delivered_rate for p in points)
+
+
+def saturation_sweep_job(spec: dict) -> dict:
+    """Harness job entry point for :func:`saturation_sweep`.
+
+    Registered as the ``saturation_sweep`` alias: ``family`` is
+    required; ``size`` (64), ``rates`` (the default ladder),
+    ``duration`` (128), ``policy`` (``"fifo"``), ``seed`` (0) and
+    ``engine`` (``"fast"``) are optional.  Each measured point becomes
+    one dict so the whole curve is a JSON value.
+    """
+    from repro.topologies.registry import family_spec
+
+    machine = family_spec(spec["family"]).build_with_size(int(spec.get("size", 64)))
+    points = saturation_sweep(
+        machine,
+        rates=spec.get("rates"),
+        duration=int(spec.get("duration", 128)),
+        policy=spec.get("policy", "fifo"),
+        seed=int(spec.get("seed", 0)),
+        engine=spec.get("engine", "fast"),
+    )
+    return {
+        "family": spec["family"],
+        "machine": repr(machine),
+        "n": machine.num_nodes,
+        "points": [
+            {
+                "offered_rate": p.offered_rate,
+                "delivered_rate": p.delivered_rate,
+                "mean_latency": p.mean_latency,
+                "p99_latency": p.p99_latency,
+                "max_queue": p.max_queue,
+            }
+            for p in points
+        ],
+    }

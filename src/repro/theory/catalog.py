@@ -19,7 +19,12 @@ from repro.asymptotics import Bound, LogPoly
 from repro.theory.host_size import max_host_size
 from repro.topologies.registry import FAMILIES, family_spec
 
-__all__ = ["CatalogEntry", "full_catalog", "catalog_consistency_violations"]
+__all__ = [
+    "CatalogEntry",
+    "catalog_cell_job",
+    "catalog_consistency_violations",
+    "full_catalog",
+]
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,24 @@ def full_catalog(
         for h in hosts:
             out.append(CatalogEntry(g, h, max_host_size(g, h)))
     return out
+
+
+def catalog_cell_job(spec: dict) -> dict:
+    """Harness job entry point for one catalog cell.
+
+    Registered as the ``catalog_cell`` alias: ``guest`` and ``host`` are
+    family keys.  The symbolic bound is returned rendered (``expr`` is
+    the bare LogPoly, ``bound`` includes the Theta/O/Omega symbol) so
+    the value is a stable JSON cell for the store.
+    """
+    bound = max_host_size(spec["guest"], spec["host"])
+    return {
+        "guest": spec["guest"],
+        "host": spec["host"],
+        "expr": str(bound.expr),
+        "bound": str(bound),
+        "kind": bound.kind,
+    }
 
 
 def catalog_consistency_violations(

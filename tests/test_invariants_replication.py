@@ -63,6 +63,18 @@ class TestReplication:
         rep = Replication(values=(5.0,))
         assert rep.std == 0.0
 
+    def test_cv_all_zero_replicates_is_zero(self):
+        """Regression: a degenerate all-zero replication has cv 0.0, not
+        inf -- zero spread around a zero mean is no dispersion at all."""
+        rep = Replication(values=(0.0, 0.0, 0.0))
+        assert rep.cv == 0.0
+
+    def test_cv_zero_mean_with_spread_is_inf(self):
+        """inf stays reserved for genuine spread that cancels to mean 0."""
+        rep = Replication(values=(-1.0, 1.0))
+        assert rep.mean == 0.0
+        assert rep.cv == float("inf")
+
     def test_replicate_is_reproducible(self):
         calls = []
 
