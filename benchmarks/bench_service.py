@@ -1,0 +1,166 @@
+"""Service acceptance bench: cold/warm latency + closed-loop throughput.
+
+Drives a real :class:`~repro.service.server.ServiceServer` on an
+ephemeral port the way a client fleet would:
+
+1. **cold** -- every grid query once against an empty store (each
+   request computes through the harness executor and persists);
+2. **warm single query** -- the ISSUE-3 acceptance check: a repeated
+   ``GET /v1/bandwidth`` must be served from cache >= 50x faster than
+   its cold request;
+3. **closed loop** -- ``THREADS`` workers each issue ``REQUESTS_PER``
+   warm queries back-to-back over keep-alive connections; throughput
+   and p50/p95/p99 latency land in ``BENCH_service.json``, the perf
+   trajectory file for the service subsystem.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import emit
+from repro.service import create_server
+from repro.service.metrics import percentile
+from repro.util import format_table
+
+pytestmark = pytest.mark.slow
+
+GRID = [
+    ("mesh_2", 256),
+    ("de_bruijn", 256),
+    ("tree", 256),
+    ("butterfly", 256),
+]
+ACCEPTANCE_QUERY = "/v1/bandwidth?family=mesh_2&size=256"
+THREADS = 4
+REQUESTS_PER = 50
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _get(conn: http.client.HTTPConnection, path: str) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    conn.request("GET", path)
+    resp = conn.getresponse()
+    payload = json.loads(resp.read().decode("utf-8"))
+    assert resp.status == 200, payload
+    return time.perf_counter() - t0, payload
+
+
+def _bandwidth_paths() -> list[str]:
+    return [f"/v1/bandwidth?family={fam}&size={size}" for fam, size in GRID]
+
+
+def test_service_cold_warm_and_closed_loop(benchmark):
+    server = create_server(
+        port=0, store=tempfile.mkdtemp(prefix="repro-service-bench-"),
+        max_workers=THREADS,
+    )
+    runner = threading.Thread(target=server.serve_forever, daemon=True)
+    runner.start()
+    host, port = server.server_address[:2]
+    try:
+        record = benchmark.pedantic(
+            _drive, args=(host, port), rounds=1, iterations=1
+        )
+    finally:
+        assert server.drain(timeout=30.0)
+        runner.join(timeout=10)
+
+    _JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    emit(
+        format_table(
+            ["phase", "requests", "rps", "p50 ms", "p95 ms", "p99 ms"],
+            [
+                (
+                    phase,
+                    record[phase]["requests"],
+                    f"{record[phase]['throughput_rps']:8.1f}",
+                    f"{record[phase]['p50_ms']:7.2f}",
+                    f"{record[phase]['p95_ms']:7.2f}",
+                    f"{record[phase]['p99_ms']:7.2f}",
+                )
+                for phase in ("cold", "closed_loop_warm")
+            ],
+            title=(
+                f"Query service, {THREADS}-thread closed loop "
+                f"(warm/cold speedup {record['single_query']['speedup']:.0f}x; "
+                "BENCH_service.json)"
+            ),
+        )
+    )
+
+
+def _drive(host: str, port: int) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+
+    # Phase 1: cold -- every grid cell computes and persists.
+    cold_latencies = []
+    for path in _bandwidth_paths():
+        seconds, payload = _get(conn, path)
+        assert payload["meta"]["cache"] == "miss"
+        cold_latencies.append(seconds)
+
+    # Phase 2: the acceptance query, cold time vs best-of-5 warm.
+    cold_seconds = cold_latencies[0]
+    warm_seconds = min(_get(conn, ACCEPTANCE_QUERY)[0] for _ in range(5))
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 50.0, (cold_seconds, warm_seconds)
+
+    # Phase 3: closed-loop warm load from THREADS concurrent clients.
+    all_latencies: list[list[float]] = [[] for _ in range(THREADS)]
+    paths = _bandwidth_paths()
+
+    def client(idx: int) -> None:
+        own = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            for rep in range(REQUESTS_PER):
+                seconds, payload = _get(own, paths[(idx + rep) % len(paths)])
+                assert payload["meta"]["cache"] in ("memory", "store")
+                all_latencies[idx].append(seconds)
+        finally:
+            own.close()
+
+    workers = [
+        threading.Thread(target=client, args=(idx,)) for idx in range(THREADS)
+    ]
+    t0 = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    loop_seconds = time.perf_counter() - t0
+    conn.close()
+
+    flat = [s for per in all_latencies for s in per]
+    assert len(flat) == THREADS * REQUESTS_PER
+
+    def phase(latencies: list[float], wall: float) -> dict:
+        ms = [s * 1000.0 for s in latencies]
+        return {
+            "requests": len(ms),
+            "throughput_rps": round(len(ms) / wall, 1),
+            "p50_ms": round(percentile(ms, 50), 3),
+            "p95_ms": round(percentile(ms, 95), 3),
+            "p99_ms": round(percentile(ms, 99), 3),
+        }
+
+    return {
+        "grid": [{"family": fam, "size": size} for fam, size in GRID],
+        "threads": THREADS,
+        "cold": phase(cold_latencies, sum(cold_latencies)),
+        "single_query": {
+            "path": ACCEPTANCE_QUERY,
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(speedup, 1),
+        },
+        "closed_loop_warm": phase(flat, loop_seconds),
+    }

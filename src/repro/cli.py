@@ -10,6 +10,7 @@ Commands:
 * ``catalog``     -- print the full guest x host maximum-host-size matrix;
 * ``families``    -- list every registered machine family;
 * ``sweep``       -- run a cached (optionally parallel) parameter sweep;
+* ``serve``       -- run the long-lived JSON query service over HTTP;
 * ``reproduce``   -- run every experiment and write JSON artifacts.
 """
 
@@ -36,7 +37,20 @@ from repro.util import format_table
 __all__ = ["main"]
 
 
-def _cmd_families(_args) -> int:
+def _family(key: str):
+    """``family_spec`` with CLI-friendly failure: clean message, exit 1."""
+    try:
+        return family_spec(key)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+def _cmd_families(args) -> int:
+    if args.json:
+        from repro.service.serializers import families_payload
+
+        print(json.dumps(families_payload(), indent=2))
+        return 0
     rows = []
     for key in all_family_keys():
         spec = family_spec(key)
@@ -85,6 +99,8 @@ def _cmd_tables(_args) -> int:
 
 
 def _cmd_figure1(args) -> int:
+    _family(args.guest)
+    _family(args.host)
     f1 = figure1_data(args.guest, args.host, args.n)
     print(
         format_table(
@@ -104,7 +120,7 @@ def _cmd_figure1(args) -> int:
 
 
 def _cmd_bandwidth(args) -> int:
-    machine = family_spec(args.family).build_with_size(args.size)
+    machine = _family(args.family).build_with_size(args.size)
     br = beta_bracket(machine)
     meas = measure_bandwidth(machine, seed=args.seed, engine=args.engine)
     print(f"machine: {machine!r} [engine={args.engine}]")
@@ -117,7 +133,7 @@ def _cmd_bandwidth(args) -> int:
 
 
 def _cmd_saturation(args) -> int:
-    machine = family_spec(args.family).build_with_size(args.size)
+    machine = _family(args.family).build_with_size(args.size)
     points = saturation_sweep(
         machine,
         rates=args.rates or None,
@@ -145,8 +161,8 @@ def _cmd_saturation(args) -> int:
 
 
 def _cmd_emulate(args) -> int:
-    guest = family_spec(args.guest).build_with_size(args.guest_size)
-    host = family_spec(args.host).build_with_size(args.host_size)
+    guest = _family(args.guest).build_with_size(args.guest_size)
+    host = _family(args.host).build_with_size(args.host_size)
     rep = Emulator(guest, host, seed=args.seed).run(args.steps)
     print(rep)
     print(f"inefficiency I = {rep.inefficiency:.2f} "
@@ -155,10 +171,17 @@ def _cmd_emulate(args) -> int:
 
 
 def _cmd_catalog(args) -> int:
-    keys = args.families or [
-        "linear_array", "tree", "xtree", "mesh_2", "mesh_3",
-        "butterfly", "de_bruijn", "hypercube",
-    ]
+    from repro.service.serializers import DEFAULT_CATALOG_KEYS
+
+    keys = list(args.families) or list(DEFAULT_CATALOG_KEYS)
+    for key in keys:
+        _family(key)
+    if args.json:
+        from repro.service.serializers import catalog_cells, catalog_payload
+
+        payload = catalog_payload(keys, keys, catalog_cells(keys, keys))
+        print(json.dumps(payload, indent=2))
+        return 0
     entries = full_catalog(guests=keys, hosts=keys)
     cells = {(e.guest_key, e.host_key): str(e.bound.expr) for e in entries}
     rows = [[g] + [cells[(g, h)] for h in keys] for g in keys]
@@ -256,6 +279,21 @@ def _cmd_sweep(args) -> int:
     return 0 if sweep.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        cache_size=args.cache_size,
+        ttl=args.ttl,
+        timeout=args.timeout,
+        max_workers=args.max_workers,
+        verbose=args.verbose,
+    )
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reporting import reproduce_all
 
@@ -271,9 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("families", help="list machine families").set_defaults(
-        fn=_cmd_families
+    fam = sub.add_parser("families", help="list machine families")
+    fam.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (same shape as GET /v1/families)",
     )
+    fam.set_defaults(fn=_cmd_families)
     sub.add_parser("tables", help="print Tables 1-4").set_defaults(fn=_cmd_tables)
 
     f1 = sub.add_parser("figure1", help="print Figure-1 series")
@@ -321,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     cat = sub.add_parser("catalog", help="guest x host matrix")
     cat.add_argument("families", nargs="*")
+    cat.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (same shape as GET /v1/catalog)",
+    )
     cat.set_defaults(fn=_cmd_catalog)
 
     from repro.harness.jobs import BUILTIN_JOBS
@@ -368,6 +413,44 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--out", default=None, metavar="FILE", help="write full JSON")
     sw.add_argument("--quiet", action="store_true", help="no progress lines")
     sw.set_defaults(fn=_cmd_sweep)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the JSON query service over HTTP",
+        description=(
+            "Start a long-lived ThreadingHTTPServer exposing the core "
+            "queries as JSON endpoints (/healthz, /metrics, /v1/families, "
+            "/v1/bandwidth, /v1/catalog, /v1/emulate, /v1/saturation). "
+            "Responses are served through an in-process LRU+TTL cache "
+            "backed by the sweep-harness result store when --store is "
+            "given; SIGTERM/SIGINT drain in-flight requests before exit. "
+            "See docs/SERVICE.md."
+        ),
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8080)
+    sv.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory (tier-2 cache, shared with sweeps)",
+    )
+    sv.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="in-process LRU capacity (entries)",
+    )
+    sv.add_argument(
+        "--ttl", type=float, default=300.0,
+        help="in-process cache TTL (seconds)",
+    )
+    sv.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request compute timeout (seconds; harness machinery)",
+    )
+    sv.add_argument(
+        "--max-workers", type=int, default=8,
+        help="max concurrently processed requests",
+    )
+    sv.add_argument("--verbose", action="store_true", help="access logging")
+    sv.set_defaults(fn=_cmd_serve)
 
     rep = sub.add_parser("reproduce", help="run all experiments, write JSON")
     rep.add_argument("--out", default="results")

@@ -29,7 +29,7 @@ from repro.routing.simulator import RoutingSimulator
 from repro.topologies.base import Machine
 from repro.util import check_positive_int, rng_from_seed
 
-__all__ = ["EmulationReport", "Emulator"]
+__all__ = ["EmulationReport", "Emulator", "emulate_job"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,25 @@ class EmulationReport:
             f"(>= load {self.load_bound:.2f}, bandwidth "
             f"{self.bandwidth_bound:.2f})"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-ready record (the service / ``--json`` serialization)."""
+        return {
+            "guest": self.guest_name,
+            "host": self.host_name,
+            "guest_size": self.guest_size,
+            "host_size": self.host_size,
+            "steps": self.steps,
+            "host_time": self.host_time,
+            "load": self.load,
+            "messages_per_step": self.messages_per_step,
+            "slowdown": self.slowdown,
+            "load_bound": self.load_bound,
+            "bandwidth_bound": self.bandwidth_bound,
+            "best_lower_bound": self.best_lower_bound,
+            "inefficiency": self.inefficiency,
+            "is_efficient": self.is_efficient,
+        }
 
 
 class Emulator:
@@ -153,3 +172,27 @@ class Emulator:
             load_bound=n / m,
             bandwidth_bound=bw_bound,
         )
+
+
+def emulate_job(spec: dict) -> dict:
+    """Harness job entry point for :class:`Emulator`.
+
+    Registered as the ``emulate`` alias in :mod:`repro.harness.jobs`:
+    ``guest`` and ``host`` are required family keys; ``guest_size``
+    (256), ``host_size`` (64), ``steps`` (4), ``policy``
+    (``"farthest"``) and ``seed`` (0) are optional.  Returns
+    :meth:`EmulationReport.as_dict`; the spec is total, so the value is
+    deterministic and safe to cache by content hash.
+    """
+    from repro.topologies.registry import family_spec
+
+    guest = family_spec(spec["guest"]).build_with_size(
+        int(spec.get("guest_size", 256))
+    )
+    host = family_spec(spec["host"]).build_with_size(
+        int(spec.get("host_size", 64))
+    )
+    report = Emulator(guest, host, seed=int(spec.get("seed", 0))).run(
+        int(spec.get("steps", 4)), policy=spec.get("policy", "farthest")
+    )
+    return report.as_dict()

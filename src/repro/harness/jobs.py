@@ -41,6 +41,7 @@ BUILTIN_JOBS: dict[str, str] = {
     "measure_bandwidth": "repro.routing.measure:measure_bandwidth_job",
     "saturation_sweep": "repro.routing.saturation:saturation_sweep_job",
     "catalog_cell": "repro.theory.catalog:catalog_cell_job",
+    "emulate": "repro.emulation.emulator:emulate_job",
 }
 
 

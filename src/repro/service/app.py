@@ -1,0 +1,276 @@
+"""Endpoint dispatch for the query service, transport-independent.
+
+:class:`QueryService` maps ``(method, path, params)`` to a JSON
+response without knowing anything about sockets -- the HTTP plumbing
+lives in :mod:`repro.service.server`, and tests can drive the full
+validation/cache/compute path by calling :meth:`QueryService.handle`
+directly.
+
+Endpoints::
+
+    GET  /healthz                 liveness + version + uptime
+    GET  /metrics                 request counters, latency percentiles,
+                                  cache hit/miss counters
+    GET  /v1/families             the machine-family registry (Table 4)
+    GET  /v1/bandwidth            measured operational bandwidth
+    GET  /v1/catalog              guest x host max-host-size matrix
+    POST /v1/emulate              run a guest-on-host emulation
+    POST /v1/saturation           offered-load saturation sweep
+
+Compute endpoints funnel through :meth:`QueryService._run_job`: the
+validated request *is* a harness job spec, so the job's content hash
+keys both cache tiers (in-process :class:`~repro.service.cache.TTLCache`
+then the on-disk :class:`~repro.harness.store.ResultStore`) and a cold
+request executes through the harness :class:`SerialExecutor`, reusing
+its timeout/retry machinery.  Responses carry a ``meta.cache`` field
+(``"memory"``, ``"store"`` or ``"miss"``) so clients and benchmarks can
+see which tier answered.
+
+Note on timeouts: the harness deadline is ``SIGALRM``-based, so it is
+enforced when ``handle`` runs on the main thread (direct calls, tests)
+and degrades to no deadline inside the threaded HTTP front-end; the
+request-size bounds in :mod:`repro.service.schemas` are the hard
+protection there.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Mapping
+
+from repro import __version__
+from repro.harness import Job, ResultStore, SerialExecutor
+from repro.service import serializers
+from repro.service.cache import TTLCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.schemas import MAX_MACHINE_SIZE, ApiError, Field, Schema
+
+__all__ = ["QueryService"]
+
+_MAX_SEED = 2**31 - 1
+
+BANDWIDTH_SCHEMA = Schema(
+    Field("family", "family", required=True),
+    Field("size", "int", default=256, minimum=2, maximum=MAX_MACHINE_SIZE),
+    Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
+    Field("engine", "str", default="fast", choices=("fast", "reference")),
+)
+
+CATALOG_SCHEMA = Schema(
+    Field(
+        "guests", "family_list",
+        default=serializers.DEFAULT_CATALOG_KEYS, max_items=48,
+    ),
+    Field(
+        "hosts", "family_list",
+        default=serializers.DEFAULT_CATALOG_KEYS, max_items=48,
+    ),
+)
+
+EMULATE_SCHEMA = Schema(
+    Field("guest", "family", required=True),
+    Field("host", "family", required=True),
+    Field("guest_size", "int", default=256, minimum=4, maximum=MAX_MACHINE_SIZE),
+    Field("host_size", "int", default=64, minimum=2, maximum=MAX_MACHINE_SIZE),
+    Field("steps", "int", default=4, minimum=1, maximum=256),
+    Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
+)
+
+SATURATION_SCHEMA = Schema(
+    Field("family", "family", required=True),
+    Field("size", "int", default=64, minimum=2, maximum=1024),
+    Field("rates", "float_list", minimum=1e-6, maximum=1.0, max_items=64),
+    Field("duration", "int", default=128, minimum=1, maximum=4096),
+    Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
+    Field("engine", "str", default="fast", choices=("fast", "reference")),
+)
+
+
+class QueryService:
+    """The service core: routing, validation, two-tier cache, metrics."""
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        cache_size: int = 1024,
+        ttl: float = 300.0,
+        timeout: float | None = None,
+        retries: int = 0,
+    ) -> None:
+        self.store = store
+        self.cache = TTLCache(maxsize=cache_size, ttl=ttl)
+        self.metrics = ServiceMetrics()
+        self.executor = SerialExecutor(timeout=timeout, retries=retries)
+        self.started = time.monotonic()
+        self._routes: dict[str, dict[str, tuple[Schema | None, Any]]] = {
+            "/healthz": {"GET": (None, self._h_healthz)},
+            "/metrics": {"GET": (None, self._h_metrics)},
+            "/v1/families": {"GET": (None, self._h_families)},
+            "/v1/bandwidth": {"GET": (BANDWIDTH_SCHEMA, self._h_bandwidth)},
+            "/v1/catalog": {"GET": (CATALOG_SCHEMA, self._h_catalog)},
+            "/v1/emulate": {"POST": (EMULATE_SCHEMA, self._h_emulate)},
+            "/v1/saturation": {"POST": (SATURATION_SCHEMA, self._h_saturation)},
+        }
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> tuple[int, dict[str, Any]]:
+        """One request in, ``(status, json_payload)`` out; never raises."""
+        t0 = time.perf_counter()
+        methods = self._routes.get(path)
+        label = f"{method} {path}" if methods else "unmatched"
+        try:
+            if methods is None:
+                raise ApiError(404, "route_not_found", f"no such route: {path!r}")
+            if method not in methods:
+                raise ApiError(
+                    405,
+                    "method_not_allowed",
+                    f"{path} supports {sorted(methods)}, not {method}",
+                )
+            schema, handler = methods[method]
+            params = self._params(method, schema, query or {}, body)
+            status, payload = handler(params)
+        except ApiError as exc:
+            status, payload = exc.status, exc.body()
+        except Exception as exc:  # a handler bug must still answer in JSON
+            status, payload = 500, ApiError(
+                500, "internal_error", f"{type(exc).__name__}: {exc}"
+            ).body()
+        self.metrics.observe(label, status, time.perf_counter() - t0)
+        return status, payload
+
+    def _params(
+        self,
+        method: str,
+        schema: Schema | None,
+        query: Mapping[str, str],
+        body: bytes,
+    ) -> dict[str, Any]:
+        if schema is None:
+            return {}
+        if method == "POST":
+            if not body:
+                raw: Any = {}
+            else:
+                try:
+                    raw = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    raise ApiError(
+                        400, "invalid_json", "request body is not valid JSON"
+                    ) from None
+            if not isinstance(raw, dict):
+                raise ApiError(
+                    400, "invalid_json", "request body must be a JSON object"
+                )
+        else:
+            raw = dict(query)
+        return schema.validate(raw)
+
+    # -- the two-tier cached compute path -----------------------------------
+
+    def _run_job(self, fn: str, spec: Mapping[str, Any]) -> tuple[Any, str]:
+        """``(value, tier)`` where tier is ``memory``/``store``/``miss``."""
+        job = Job(fn, spec)
+        hit, value = self.cache.get(job.job_hash)
+        if hit:
+            return value, "memory"
+        if self.store is not None:
+            hit, value = self.store.get(job)
+            if hit:
+                self.cache.put(job.job_hash, value)
+                return value, "store"
+        result = self.executor.run([job])[0]
+        if not result.ok:
+            raise self._job_error(result.error or "job failed")
+        if self.store is not None:
+            self.store.put(job, result.value, seconds=result.seconds)
+        self.cache.put(job.job_hash, result.value)
+        return result.value, "miss"
+
+    @staticmethod
+    def _job_error(error: str) -> ApiError:
+        if "timed out" in error:
+            return ApiError(504, "timeout", error)
+        if error.startswith("ValueError"):
+            # Deterministic spec rejection from domain code (e.g. host
+            # larger than guest after size rounding): the client's fault.
+            return ApiError(422, "invalid_argument", error)
+        return ApiError(500, "job_failed", error)
+
+    # -- handlers -----------------------------------------------------------
+
+    def _h_healthz(self, _params: dict) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "store": str(self.store.root) if self.store is not None else None,
+        }
+
+    def _h_metrics(self, _params: dict) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "endpoints": self.metrics.snapshot(),
+            "cache": {
+                "memory": self.cache.stats.as_dict(),
+                "store": (
+                    self.store.stats.as_dict() if self.store is not None else None
+                ),
+            },
+        }
+
+    def _h_families(self, _params: dict) -> tuple[int, dict[str, Any]]:
+        return 200, serializers.families_payload()
+
+    def _h_bandwidth(self, params: dict) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        value, tier = self._run_job("measure_bandwidth", params)
+        return 200, {"result": value, "meta": self._meta(tier, t0)}
+
+    def _h_catalog(self, params: dict) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        tiers = {"memory": 0, "store": 0, "miss": 0}
+        cells = []
+        for guest in params["guests"]:
+            for host in params["hosts"]:
+                value, tier = self._run_job(
+                    "catalog_cell", {"guest": guest, "host": host}
+                )
+                tiers[tier] += 1
+                cells.append(value)
+        payload = serializers.catalog_payload(
+            params["guests"], params["hosts"], cells
+        )
+        payload["meta"] = {
+            "cache": tiers, "seconds": round(time.perf_counter() - t0, 6)
+        }
+        return 200, payload
+
+    def _h_emulate(self, params: dict) -> tuple[int, dict[str, Any]]:
+        if params["host_size"] > params["guest_size"]:
+            raise ApiError(
+                422,
+                "out_of_range",
+                "host_size must be <= guest_size: emulation slowdown is "
+                "only meaningful for |H| <= |G|",
+            )
+        t0 = time.perf_counter()
+        value, tier = self._run_job("emulate", params)
+        return 200, {"result": value, "meta": self._meta(tier, t0)}
+
+    def _h_saturation(self, params: dict) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        value, tier = self._run_job("saturation_sweep", params)
+        return 200, {"result": value, "meta": self._meta(tier, t0)}
+
+    @staticmethod
+    def _meta(tier: str, t0: float) -> dict[str, Any]:
+        return {"cache": tier, "seconds": round(time.perf_counter() - t0, 6)}

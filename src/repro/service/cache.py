@@ -1,0 +1,112 @@
+"""In-process LRU cache with TTL: tier 1 of the service's two-tier cache.
+
+The query service serves each computed response through two cache
+tiers keyed by the job's content hash (:attr:`repro.harness.jobs.Job.job_hash`):
+
+1. this cache -- a bounded, thread-safe ``OrderedDict`` in the server
+   process, so a warm query costs one dict lookup;
+2. the on-disk :class:`~repro.harness.store.ResultStore`, shared with
+   the sweep harness, so results survive restarts and are shared with
+   CLI sweeps that point at the same store directory.
+
+Entries expire after ``ttl`` seconds (lazily, on lookup) so a
+long-running server bounds the staleness of anything served from
+memory; the disk tier has no TTL because job results are deterministic
+and salted by code version.  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["CacheStats", "TTLCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict counters for one :class:`TTLCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory (0.0 when untouched)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (what ``GET /metrics`` reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class TTLCache:
+    """Bounded LRU mapping ``key -> value`` with per-entry expiry.
+
+    ``get``/``put`` are O(1) and thread-safe under one lock; eviction
+    is LRU (least recently *used*, reads refresh recency), expiry is
+    checked lazily on ``get`` so there is no sweeper thread.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        ttl: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.maxsize = max(0, int(maxsize))
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._entries: OrderedDict[str, tuple[float, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a live hit, ``(False, None)`` otherwise."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return False, None
+            expires_at, value = entry
+            if self._clock() >= expires_at:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh ``key``; evicts LRU entries past ``maxsize``."""
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,70 @@
+"""JSON serializers shared by the service endpoints and the CLI.
+
+``GET /v1/families`` and ``repro families --json`` (likewise
+``/v1/catalog`` and ``repro catalog --json``) must emit byte-identical
+shapes -- scripts switch between the two transports freely -- so the
+serialization lives here, once, and both front-ends import it.
+
+Catalog cells deliberately reuse the shape of
+:func:`repro.theory.catalog.catalog_cell_job` (the harness job the
+service computes cells through), so a cell looks the same whether it
+came from the in-memory cache, the result store, or a direct CLI call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.topologies.registry import FAMILIES, FamilySpec
+
+__all__ = [
+    "DEFAULT_CATALOG_KEYS",
+    "catalog_cells",
+    "catalog_payload",
+    "families_payload",
+    "family_dict",
+]
+
+#: The representative guest/host subset the CLI and service default to
+#: (one family per Table-4 bandwidth class, small enough to eyeball).
+DEFAULT_CATALOG_KEYS = (
+    "linear_array", "tree", "xtree", "mesh_2", "mesh_3",
+    "butterfly", "de_bruijn", "hypercube",
+)
+
+
+def family_dict(spec: FamilySpec) -> dict[str, Any]:
+    """One registry entry as a JSON object (Table-4 row, machine-readable)."""
+    return {
+        "key": spec.key,
+        "display": spec.display,
+        "beta": str(spec.beta),
+        "delta": str(spec.delta),
+        "fixed_degree": spec.fixed_degree,
+        "bottleneck_free": spec.bottleneck_free,
+        "weak": spec.weak,
+        "k": spec.k,
+        "notes": spec.notes,
+    }
+
+
+def families_payload() -> dict[str, Any]:
+    """The full registry: ``{"count": N, "families": [...]}``."""
+    families = [family_dict(FAMILIES[key]) for key in sorted(FAMILIES)]
+    return {"count": len(families), "families": families}
+
+
+def catalog_cells(guests: list[str], hosts: list[str]) -> list[dict[str, Any]]:
+    """Every (guest, host) cell dict, computed directly (uncached path)."""
+    from repro.theory.catalog import catalog_cell_job
+
+    return [
+        catalog_cell_job({"guest": g, "host": h}) for g in guests for h in hosts
+    ]
+
+
+def catalog_payload(
+    guests: list[str], hosts: list[str], cells: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """The catalog envelope; ``cells`` iterate hosts fastest, like rows."""
+    return {"guests": list(guests), "hosts": list(hosts), "cells": cells}

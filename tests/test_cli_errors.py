@@ -1,0 +1,70 @@
+"""CLI regression tests: clean errors for unknown families, --json flags.
+
+Unknown family keys used to escape as raw ``KeyError`` tracebacks from
+the registry; every family-taking subcommand must now exit nonzero with
+a one-line ``error: ...`` message instead.  The ``--json`` flags must
+emit exactly the service serializers' shapes so scripts can switch
+between the CLI and ``GET /v1/...`` freely.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.serializers import families_payload
+
+
+def _assert_clean_family_error(argv: list[str]) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    message = str(excinfo.value)
+    assert message.startswith("error: unknown machine family")
+    assert "nosuch" in message
+    assert "Traceback" not in message
+
+
+class TestUnknownFamilyErrors:
+    def test_bandwidth(self):
+        _assert_clean_family_error(["bandwidth", "nosuch", "--size", "64"])
+
+    def test_saturation(self):
+        _assert_clean_family_error(["saturation", "nosuch", "--size", "16"])
+
+    def test_emulate_guest(self):
+        _assert_clean_family_error(["emulate", "nosuch", "mesh_2"])
+
+    def test_emulate_host(self):
+        _assert_clean_family_error(["emulate", "de_bruijn", "nosuch"])
+
+    def test_figure1(self):
+        _assert_clean_family_error(["figure1", "--guest", "nosuch"])
+
+    def test_catalog(self):
+        _assert_clean_family_error(["catalog", "linear_array", "nosuch"])
+
+    def test_known_family_still_works(self, capsys):
+        assert main(["bandwidth", "linear_array", "--size", "16"]) == 0
+        assert "measured rate" in capsys.readouterr().out
+
+
+class TestJsonFlags:
+    def test_families_json_matches_service_payload(self, capsys):
+        assert main(["families", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == families_payload()
+
+    def test_families_plain_output_unchanged(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh_2" in out and "{" not in out
+
+    def test_catalog_json(self, capsys):
+        assert main(["catalog", "linear_array", "tree", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["guests"] == ["linear_array", "tree"]
+        assert len(payload["cells"]) == 4
+        cell = payload["cells"][0]
+        assert set(cell) == {"guest", "host", "expr", "bound", "kind"}
