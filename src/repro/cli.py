@@ -11,14 +11,22 @@ Commands:
 * ``families``    -- list every registered machine family;
 * ``sweep``       -- run a cached (optionally parallel) parameter sweep;
 * ``serve``       -- run the long-lived JSON query service over HTTP;
+* ``trace``       -- aggregate a span trace file into a timing report;
 * ``reproduce``   -- run every experiment and write JSON artifacts.
+
+``bandwidth``, ``saturation``, ``emulate``, ``sweep``, and ``serve``
+accept ``--trace FILE``: the run executes under the observability
+tracer (:mod:`repro.obs`) with one root ``cli.<command>`` span, and the
+resulting JSON-lines file feeds ``python -m repro trace report FILE``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
+import time
 
 from repro.bandwidth import beta_bracket, beta_value
 from repro.emulation import Emulator
@@ -43,6 +51,36 @@ def _family(key: str):
         return family_spec(key)
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+@contextlib.contextmanager
+def _traced(args, root: str):
+    """Run a command body under ``--trace FILE`` with one root span.
+
+    Yields nothing; the caller's whole block becomes the ``cli.<cmd>``
+    span, so the trace report's top-level total *is* the command's wall
+    time.  Without ``--trace`` this is a plain pass-through.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from repro.obs import span, tracing
+
+    with tracing(path):
+        with span(root):
+            yield
+    print(
+        f"trace written to {path} "
+        f"(render: python -m repro trace report {path})"
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace (JSON lines) of this run to FILE",
+    )
 
 
 def _cmd_families(args) -> int:
@@ -120,9 +158,10 @@ def _cmd_figure1(args) -> int:
 
 
 def _cmd_bandwidth(args) -> int:
-    machine = _family(args.family).build_with_size(args.size)
-    br = beta_bracket(machine)
-    meas = measure_bandwidth(machine, seed=args.seed, engine=args.engine)
+    with _traced(args, "cli.bandwidth"):
+        machine = _family(args.family).build_with_size(args.size)
+        br = beta_bracket(machine)
+        meas = measure_bandwidth(machine, seed=args.seed, engine=args.engine)
     print(f"machine: {machine!r} [engine={args.engine}]")
     print(f"closed form beta:  {beta_value(args.family, machine.num_nodes):.2f} "
           f"(Theta({family_spec(args.family).beta}))")
@@ -133,14 +172,15 @@ def _cmd_bandwidth(args) -> int:
 
 
 def _cmd_saturation(args) -> int:
-    machine = _family(args.family).build_with_size(args.size)
-    points = saturation_sweep(
-        machine,
-        rates=args.rates or None,
-        duration=args.duration,
-        seed=args.seed,
-        engine=args.engine,
-    )
+    with _traced(args, "cli.saturation"):
+        machine = _family(args.family).build_with_size(args.size)
+        points = saturation_sweep(
+            machine,
+            rates=args.rates or None,
+            duration=args.duration,
+            seed=args.seed,
+            engine=args.engine,
+        )
     print(
         format_table(
             ["offered r", "delivered/tick", "mean latency", "p99", "max queue"],
@@ -161,12 +201,18 @@ def _cmd_saturation(args) -> int:
 
 
 def _cmd_emulate(args) -> int:
-    guest = _family(args.guest).build_with_size(args.guest_size)
-    host = _family(args.host).build_with_size(args.host_size)
-    rep = Emulator(guest, host, seed=args.seed).run(args.steps)
+    with _traced(args, "cli.emulate"):
+        t0 = time.perf_counter()
+        guest = _family(args.guest).build_with_size(args.guest_size)
+        host = _family(args.host).build_with_size(args.host_size)
+        rep = Emulator(guest, host, seed=args.seed).run(args.steps)
+        wall = time.perf_counter() - t0
     print(rep)
     print(f"inefficiency I = {rep.inefficiency:.2f} "
           f"({'efficient' if rep.is_efficient else 'INEFFICIENT'})")
+    if args.trace:
+        # Timed inside the root span: the trace report's total matches.
+        print(f"wall seconds: {wall:.6f}")
     return 0
 
 
@@ -245,7 +291,10 @@ def _cmd_sweep(args) -> int:
         else SerialExecutor(timeout=args.timeout, retries=args.retries)
     )
     store = ResultStore(args.store) if args.store else None
-    sweep = run_sweep(jobs, executor=executor, store=store, progress=not args.quiet)
+    with _traced(args, "cli.sweep"):
+        sweep = run_sweep(
+            jobs, executor=executor, store=store, progress=not args.quiet
+        )
 
     rows = []
     for r in sweep.results:
@@ -268,7 +317,8 @@ def _cmd_sweep(args) -> int:
     )
     print(
         f"{len(jobs)} cells in {sweep.wall_seconds:.2f}s: "
-        f"{sweep.num_cached} cached, {sweep.num_failed} failed"
+        f"{sweep.num_cached} cached, {sweep.num_failed} failed, "
+        f"{sweep.num_retries} retries, {sweep.num_timeouts} timeouts"
         + (f"; store {sweep.store_stats}" if sweep.store_stats else "")
     )
     if args.out:
@@ -291,7 +341,24 @@ def _cmd_serve(args) -> int:
         timeout=args.timeout,
         max_workers=args.max_workers,
         verbose=args.verbose,
+        trace=args.trace,
     )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import load_report
+
+    try:
+        report = load_report(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such trace file: {args.file}") from None
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render(max_depth=args.depth, min_ms=args.min_ms))
+    return 0
 
 
 def _cmd_reproduce(args) -> int:
@@ -333,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="simulator engine (both give identical results)",
     )
+    _add_trace_flag(bw)
     bw.set_defaults(fn=_cmd_bandwidth)
 
     sat = sub.add_parser("saturation", help="offered-load saturation sweep")
@@ -349,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="simulator engine (both give identical results)",
     )
+    _add_trace_flag(sat)
     sat.set_defaults(fn=_cmd_saturation)
 
     em = sub.add_parser("emulate", help="emulate guest on host")
@@ -358,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     em.add_argument("--host-size", type=int, default=64)
     em.add_argument("--steps", type=int, default=4)
     em.add_argument("--seed", type=int, default=0)
+    _add_trace_flag(em)
     em.set_defaults(fn=_cmd_emulate)
 
     cat = sub.add_parser("catalog", help="guest x host matrix")
@@ -412,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--out", default=None, metavar="FILE", help="write full JSON")
     sw.add_argument("--quiet", action="store_true", help="no progress lines")
+    _add_trace_flag(sw)
     sw.set_defaults(fn=_cmd_sweep)
 
     sv = sub.add_parser(
@@ -450,7 +521,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently processed requests",
     )
     sv.add_argument("--verbose", action="store_true", help="access logging")
+    _add_trace_flag(sv)
     sv.set_defaults(fn=_cmd_serve)
+
+    tr = sub.add_parser(
+        "trace",
+        help="inspect span trace files (see docs/OBSERVABILITY.md)",
+        description=(
+            "Aggregate a JSON-lines span trace (written by --trace on "
+            "bandwidth/saturation/emulate/sweep/serve, or by "
+            "repro.obs.tracing) into a self-time/cumulative tree report."
+        ),
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    trr = trsub.add_parser("report", help="print the timing tree")
+    trr.add_argument("file", help="trace file (JSON lines)")
+    trr.add_argument("--json", action="store_true",
+                     help="machine-readable report")
+    trr.add_argument("--depth", type=int, default=None,
+                     help="deepest tree level to print")
+    trr.add_argument("--min-ms", type=float, default=0.0, dest="min_ms",
+                     help="hide subtrees with cumulative time below this")
+    trr.set_defaults(fn=_cmd_trace)
 
     rep = sub.add_parser("reproduce", help="run all experiments, write JSON")
     rep.add_argument("--out", default="results")

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.bandwidth.graph_theoretic import beta_bracket
 from repro.embedding.embedders import _bfs_order
+from repro.obs import trace as obs
 from repro.routing.simulator import RoutingSimulator
 from repro.topologies.base import Machine
 from repro.util import check_positive_int, rng_from_seed
@@ -143,23 +144,42 @@ class Emulator:
         one routing determines the per-step time exactly.
         """
         check_positive_int(steps, "steps")
-        msgs = self.step_messages()
-        sim = RoutingSimulator(self.host, policy=policy)
-        if msgs:
-            result = sim.route([[s, d] for s, d in msgs])
-            route_time = result.total_time
-        else:
-            route_time = 0
-        load = self.load
-        per_step = load + route_time
-        host_time = per_step * steps
+        with obs.span(
+            "emulate.run",
+            guest=self.guest.name,
+            host=self.host.name,
+            steps=steps,
+        ) as sp:
+            # One guest step routes the worst-case multiset, so one
+            # traced step stands for all of them (attrs record the
+            # multiplier the modeled host time applies).
+            with obs.span("emulate.step", steps_modeled=steps) as step_sp:
+                with obs.span("step.compute") as comp_sp:
+                    msgs = self.step_messages()
+                    load = self.load
+                    comp_sp.set(load=load, messages=len(msgs))
+                with obs.span("step.comm", messages=len(msgs)) as comm_sp:
+                    sim = RoutingSimulator(self.host, policy=policy)
+                    if msgs:
+                        result = sim.route([[s, d] for s, d in msgs])
+                        route_time = result.total_time
+                    else:
+                        route_time = 0
+                    comm_sp.set(ticks=route_time)
+                step_sp.set(compute_ticks=load, comm_ticks=route_time)
+            per_step = load + route_time
+            host_time = per_step * steps
 
-        n, m = self.guest.num_nodes, self.host.num_nodes
-        bg = beta_bracket(self.guest)
-        bh = beta_bracket(self.host)
-        # Conservative numeric bound: guest's certified lower beta over
-        # host's certified upper beta.
-        bw_bound = bg.lower / bh.upper if bh.upper > 0 else float("inf")
+            n, m = self.guest.num_nodes, self.host.num_nodes
+            with obs.span("emulate.bounds"):
+                bg = beta_bracket(self.guest)
+                bh = beta_bracket(self.host)
+            # Conservative numeric bound: guest's certified lower beta over
+            # host's certified upper beta.
+            bw_bound = bg.lower / bh.upper if bh.upper > 0 else float("inf")
+            sp.set(host_time=host_time, load=load, comm_ticks=route_time)
+        obs.add("emulate.steps", steps)
+        obs.add("emulate.host_ticks", host_time)
         return EmulationReport(
             guest_name=self.guest.name,
             host_name=self.host.name,

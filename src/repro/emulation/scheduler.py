@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.emulation.circuit import Circuit, CircuitNode
+from repro.obs import trace as obs
 from repro.routing.simulator import RoutingSimulator
 from repro.topologies.base import Machine
 
@@ -90,20 +91,31 @@ def schedule_circuit(
     level_compute: list[int] = []
     level_comm: list[int] = []
     level_messages: list[int] = []
-    for level in range(1, circuit.depth + 1):
-        counts = np.zeros(m, dtype=np.int64)
-        msgs: list[list[int]] = []
-        for node in circuit.level_nodes(level):
-            owner = assignment[node]
-            counts[owner] += 1
-            for tail in circuit.inputs(node):
-                src = assignment[tail]
-                if src != owner:
-                    msgs.append([src, owner])
-        comm = sim.route(msgs).total_time if msgs else 0
-        level_compute.append(int(counts.max()) if counts.size else 0)
-        level_comm.append(comm)
-        level_messages.append(len(msgs))
+    with obs.span(
+        "schedule.run", guest=circuit.guest.name, host=host.name,
+        depth=circuit.depth,
+    ):
+        for level in range(1, circuit.depth + 1):
+            with obs.span("schedule.level", level=level) as level_sp:
+                with obs.span("level.compute") as comp_sp:
+                    counts = np.zeros(m, dtype=np.int64)
+                    msgs: list[list[int]] = []
+                    for node in circuit.level_nodes(level):
+                        owner = assignment[node]
+                        counts[owner] += 1
+                        for tail in circuit.inputs(node):
+                            src = assignment[tail]
+                            if src != owner:
+                                msgs.append([src, owner])
+                    compute = int(counts.max()) if counts.size else 0
+                    comp_sp.set(ticks=compute, messages=len(msgs))
+                with obs.span("level.comm", messages=len(msgs)) as comm_sp:
+                    comm = sim.route(msgs).total_time if msgs else 0
+                    comm_sp.set(ticks=comm)
+                level_sp.set(compute_ticks=compute, comm_ticks=comm)
+            level_compute.append(compute)
+            level_comm.append(comm)
+            level_messages.append(len(msgs))
     return CircuitSchedule(
         guest_name=circuit.guest.name,
         host_name=host.name,

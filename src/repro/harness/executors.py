@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.harness.jobs import Job, JobError, TransientJobError, resolve_job
+from repro.obs import trace as obs
 
 __all__ = ["JobResult", "ParallelExecutor", "SerialExecutor"]
 
@@ -51,10 +52,16 @@ class JobResult:
     attempts: int = 1
     cached: bool = False
     worker: str = "serial"
+    timeouts: int = 0
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def retries(self) -> int:
+        """Re-executions after the first attempt (0 for cache hits)."""
+        return max(0, self.attempts - 1)
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready record of the job, its outcome, and its timing."""
@@ -66,9 +73,23 @@ class JobResult:
             "error": self.error,
             "seconds": round(self.seconds, 6),
             "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
             "cached": self.cached,
             "worker": self.worker,
         }
+
+
+def _is_timeout(message: str) -> bool:
+    """Whether a transient failure payload is the SIGALRM deadline."""
+    return "timed out" in message
+
+
+def _job_event(name: str, job: Job, **fields: Any) -> None:
+    """Emit one job-lifecycle event (no-op unless tracing is on)."""
+    tracer = obs.get_tracer()
+    if tracer is not None:
+        tracer.event(name, fn=job.fn, hash=job.job_hash[:12], **fields)
 
 
 def _with_timeout(thunk: Callable[[], Any], timeout: float | None) -> Any:
@@ -146,11 +167,21 @@ class SerialExecutor:
         for job in jobs:
             t0 = time.perf_counter()
             attempts = 0
-            while True:
-                attempts += 1
-                status, payload = _execute_job(job.fn, job.spec, self.timeout)
-                if status != "transient" or attempts > self.retries:
+            timeouts = 0
+            with obs.span("harness.job", fn=job.fn, worker="serial") as sp:
+                _job_event("job.started", job, worker="serial")
+                while True:
+                    attempts += 1
+                    status, payload = _execute_job(job.fn, job.spec, self.timeout)
+                    if status == "transient":
+                        if _is_timeout(payload):
+                            timeouts += 1
+                            _job_event("job.timed_out", job, attempt=attempts)
+                        if attempts <= self.retries:
+                            _job_event("job.retried", job, attempt=attempts)
+                            continue
                     break
+                sp.set(status=status, attempts=attempts)
             result = JobResult(
                 job=job,
                 value=payload if status == "ok" else None,
@@ -158,6 +189,11 @@ class SerialExecutor:
                 seconds=time.perf_counter() - t0,
                 attempts=attempts,
                 worker="serial",
+                timeouts=timeouts,
+            )
+            _job_event(
+                "job.finished", job, status=status, attempts=attempts,
+                seconds=round(result.seconds, 6), worker="serial",
             )
             if on_result is not None:
                 on_result(result)
@@ -227,6 +263,7 @@ class ParallelExecutor:
 
         results: list[JobResult | None] = [None] * len(jobs)
         attempts = [0] * len(jobs)
+        timeouts = [0] * len(jobs)
         started = [0.0] * len(jobs)
         try:
             with ProcessPoolExecutor(
@@ -242,6 +279,10 @@ class ParallelExecutor:
                         _execute_job, jobs[i].fn, jobs[i].spec, self.timeout
                     )
                     future_to_index[fut] = i
+                    _job_event(
+                        "job.queued", jobs[i], worker="pool",
+                        attempt=attempts[i],
+                    )
 
                 for i in range(len(jobs)):
                     submit(i)
@@ -260,7 +301,15 @@ class ParallelExecutor:
                             status, payload = "error", f"{type(exc).__name__}: {exc}"
                         else:
                             status, payload = fut.result()
+                        if status == "transient" and _is_timeout(payload):
+                            timeouts[i] += 1
+                            _job_event(
+                                "job.timed_out", jobs[i], attempt=attempts[i]
+                            )
                         if status == "transient" and attempts[i] <= self.retries:
+                            _job_event(
+                                "job.retried", jobs[i], attempt=attempts[i]
+                            )
                             submit(i)
                             continue
                         results[i] = JobResult(
@@ -270,6 +319,12 @@ class ParallelExecutor:
                             seconds=elapsed,
                             attempts=attempts[i],
                             worker="pool",
+                            timeouts=timeouts[i],
+                        )
+                        _job_event(
+                            "job.finished", jobs[i], status=status,
+                            attempts=attempts[i],
+                            seconds=round(elapsed, 6), worker="pool",
                         )
                         if on_result is not None:
                             on_result(results[i])

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,12 +44,36 @@ def default_salt() -> str:
 
 @dataclass
 class StoreStats:
-    """Hit/miss/evict counters for one :class:`ResultStore` instance."""
+    """Hit/miss/evict counters for one :class:`ResultStore` instance.
+
+    A store is shared between the service's request threads and any
+    in-process sweeps, so every increment goes through :meth:`record`
+    under one lock and :meth:`as_dict` snapshots under the same lock --
+    readers (``GET /metrics``, the observability event sink) always see
+    a consistent set of counters.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        puts: int = 0,
+        evictions: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.puts += puts
+            self.evictions += evictions
 
     @property
     def lookups(self) -> int:
@@ -60,13 +85,17 @@ class StoreStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict[str, Any]:
-        """JSON-ready snapshot of the counters (for bench artifacts)."""
+        """JSON-ready consistent snapshot (for /metrics and benches)."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            puts, evictions = self.puts, self.evictions
+        lookups = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
+            "hits": hits,
+            "misses": misses,
+            "puts": puts,
+            "evictions": evictions,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
         }
 
 
@@ -102,13 +131,13 @@ class ResultStore:
             ):
                 raise ValueError("cache payload does not match its key")
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.record(misses=1)
             return False, None
         except (ValueError, OSError):
             self._evict(path)
-            self.stats.misses += 1
+            self.stats.record(misses=1)
             return False, None
-        self.stats.hits += 1
+        self.stats.record(hits=1)
         return True, payload["value"]
 
     def put(self, job: Job, value: Any, seconds: float | None = None) -> Path:
@@ -133,7 +162,7 @@ class ResultStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
-        self.stats.puts += 1
+        self.stats.record(puts=1)
         return path
 
     def purge_stale(self) -> int:
@@ -156,7 +185,7 @@ class ResultStore:
                 child.rmdir()
             except OSError:
                 pass
-        self.stats.evictions += removed
+        self.stats.record(evictions=removed)
         return removed
 
     def __len__(self) -> int:
@@ -167,6 +196,6 @@ class ResultStore:
     def _evict(self, path: Path) -> None:
         try:
             path.unlink(missing_ok=True)
-            self.stats.evictions += 1
+            self.stats.record(evictions=1)
         except OSError:  # pragma: no cover - unlink raced or read-only fs
             pass

@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.harness.executors import JobResult, ParallelExecutor, SerialExecutor
 from repro.harness.jobs import Job
 from repro.harness.store import ResultStore
+from repro.obs import trace as obs
 
 __all__ = ["SweepResult", "expand_grid", "run_sweep"]
 
@@ -79,6 +80,16 @@ class SweepResult:
         return sum(1 for r in self.results if not r.ok)
 
     @property
+    def num_retries(self) -> int:
+        """Total re-executions after first attempts, across all cells."""
+        return sum(r.retries for r in self.results)
+
+    @property
+    def num_timeouts(self) -> int:
+        """Total per-attempt deadline expiries, across all cells."""
+        return sum(r.timeouts for r in self.results)
+
+    @property
     def ok(self) -> bool:
         return self.num_failed == 0
 
@@ -112,6 +123,8 @@ class SweepResult:
             "num_jobs": len(self.results),
             "num_cached": self.num_cached,
             "num_failed": self.num_failed,
+            "num_retries": self.num_retries,
+            "num_timeouts": self.num_timeouts,
             "store": self.store_stats,
             "results": [r.as_dict() for r in self.results],
         }
@@ -153,30 +166,53 @@ def run_sweep(
     )
 
     t0 = time.perf_counter()
-    results: list[JobResult | None] = [None] * len(jobs)
-    pending: list[int] = []
-    for i, job in enumerate(jobs):
-        if store is not None:
-            hit, value = store.get(job)
-            if hit:
-                results[i] = JobResult(
-                    job=job, value=value, attempts=0, cached=True, worker="store"
-                )
-                if on_result is not None:
-                    on_result(results[i])
-                continue
-        pending.append(i)
+    with obs.span(
+        "harness.sweep", jobs=len(jobs), executor=executor.description
+    ) as sp:
+        obs.event("sweep.started", jobs=len(jobs), executor=executor.description)
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[int] = []
+        for i, job in enumerate(jobs):
+            if store is not None:
+                hit, value = store.get(job)
+                if hit:
+                    results[i] = JobResult(
+                        job=job, value=value, attempts=0, cached=True,
+                        worker="store",
+                    )
+                    obs.event(
+                        "job.cache_hit", tier="store", fn=job.fn,
+                        hash=job.job_hash[:12],
+                    )
+                    if on_result is not None:
+                        on_result(results[i])
+                    continue
+            pending.append(i)
 
-    if pending:
-        fresh = executor.run([jobs[i] for i in pending], on_result=on_result)
-        for i, result in zip(pending, fresh):
-            results[i] = result
-            if store is not None and result.ok:
-                store.put(result.job, result.value, seconds=result.seconds)
+        if pending:
+            fresh = executor.run([jobs[i] for i in pending], on_result=on_result)
+            for i, result in zip(pending, fresh):
+                results[i] = result
+                if store is not None and result.ok:
+                    store.put(result.job, result.value, seconds=result.seconds)
 
-    return SweepResult(
-        results=results,  # type: ignore[arg-type]
-        wall_seconds=time.perf_counter() - t0,
-        executor=executor.description,
-        store_stats=store.stats.as_dict() if store is not None else None,
-    )
+        sweep = SweepResult(
+            results=results,  # type: ignore[arg-type]
+            wall_seconds=time.perf_counter() - t0,
+            executor=executor.description,
+            store_stats=store.stats.as_dict() if store is not None else None,
+        )
+        sp.set(
+            cached=sweep.num_cached, failed=sweep.num_failed,
+            retries=sweep.num_retries, timeouts=sweep.num_timeouts,
+        )
+        obs.event(
+            "sweep.finished",
+            jobs=len(jobs),
+            cached=sweep.num_cached,
+            failed=sweep.num_failed,
+            retries=sweep.num_retries,
+            timeouts=sweep.num_timeouts,
+            wall_seconds=round(sweep.wall_seconds, 6),
+        )
+    return sweep

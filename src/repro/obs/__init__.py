@@ -1,0 +1,67 @@
+"""Observability: structured tracing, event log, and timing reports.
+
+Stdlib-only (importable from anywhere in the package without cycles)
+and **off by default**: every hook is a strict no-op until a tracer is
+installed, so instrumentation lives permanently in the hot paths --
+the routing engines, the sweep harness, the emulators, the query
+service -- at a cost bounded by ``benchmarks/bench_obs.py`` (< 2% on
+``measure_bandwidth``).
+
+Three layers:
+
+* :mod:`repro.obs.trace` -- the span tracer (``with span("route.fast")``),
+  counters, trace ids, and the global enable/disable switch;
+* :mod:`repro.obs.events` -- bounded, thread-safe JSON-lines sinks with
+  size-based rotation, plus the tolerant reader;
+* :mod:`repro.obs.report` -- fold a trace file into a
+  self-time/cumulative tree (``python -m repro trace report <file>``).
+
+Typical use::
+
+    from repro.obs import tracing, span
+    with tracing("out.jsonl"):
+        with span("my.phase", size=n):
+            ...
+
+See ``docs/OBSERVABILITY.md`` for the span naming scheme and the
+report format.
+"""
+
+from repro.obs.events import EventSink, MemorySink, read_events
+from repro.obs.report import ReportNode, TraceReport, build_report, load_report
+from repro.obs.trace import (
+    Tracer,
+    add,
+    configure,
+    current_trace_id,
+    disable,
+    enabled,
+    event,
+    get_tracer,
+    new_trace_id,
+    span,
+    trace_context,
+    tracing,
+)
+
+__all__ = [
+    "EventSink",
+    "MemorySink",
+    "ReportNode",
+    "TraceReport",
+    "Tracer",
+    "add",
+    "build_report",
+    "configure",
+    "current_trace_id",
+    "disable",
+    "enabled",
+    "event",
+    "get_tracer",
+    "load_report",
+    "new_trace_id",
+    "read_events",
+    "span",
+    "trace_context",
+    "tracing",
+]

@@ -1,0 +1,155 @@
+"""Bounded, thread-safe JSON-lines event sinks with size-based rotation.
+
+The tracer (:mod:`repro.obs.trace`) is deliberately sink-agnostic: it
+hands finished spans, counters, and freeform events to anything with a
+``write(dict)`` method.  Two sinks ship:
+
+* :class:`EventSink` -- append-only JSON lines on disk.  Writes are
+  serialized under one lock; when the current file would exceed
+  ``max_bytes`` it is rotated (``trace.jsonl`` -> ``trace.jsonl.1`` ->
+  ... up to ``backups``), so a long-running traced service has bounded
+  disk footprint no matter how many requests it serves.
+* :class:`MemorySink` -- a bounded in-process deque, for tests and for
+  embedding the tracer without touching the filesystem.
+
+:func:`read_events` is the matching reader: it parses one event per
+line and silently drops a truncated final line (the only partial write
+a crash can leave behind, since each event is written with one
+``write()`` call).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["EventSink", "MemorySink", "read_events"]
+
+
+class EventSink:
+    """Append JSON events to ``path``, one per line, rotating by size."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 2,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = max(0, int(backups))
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+        self.events_written = 0
+        self.rotations = 0
+
+    def write(self, event: Mapping[str, Any]) -> None:
+        """Serialize ``event`` and append it; rotates first if needed."""
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            if self._handle is None:  # closed: drop silently (shutdown race)
+                return
+            if self._size and self._size + len(data) > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._size += len(data)
+            self.events_written += 1
+
+    def _rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... under the held lock."""
+        self._handle.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for i in range(self.backups - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{i}")
+                if src.exists():
+                    src.replace(self.path.with_name(f"{self.path.name}.{i + 1}"))
+            self.path.replace(self.path.with_name(f"{self.path.name}.1"))
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (e.g. before reading the file)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        """Close the file; later writes are dropped (shutdown races)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSink({str(self.path)!r}, max_bytes={self.max_bytes})"
+
+
+class MemorySink:
+    """Keep the last ``maxlen`` events in memory (tests, embedding)."""
+
+    def __init__(self, maxlen: int = 65536) -> None:
+        self._lock = threading.Lock()
+        self._events: deque[dict[str, Any]] = deque(maxlen=maxlen)
+        self.events_written = 0
+
+    def write(self, event: Mapping[str, Any]) -> None:
+        """Retain a copy of ``event`` (evicting the oldest when full)."""
+        with self._lock:
+            self._events.append(dict(event))
+            self.events_written += 1
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """A snapshot of the retained events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def flush(self) -> None:
+        """Nothing to flush; memory writes are immediate."""
+
+    def close(self) -> None:
+        """Nothing to close; kept for sink interface parity."""
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield events from a JSON-lines trace file, oldest first.
+
+    A truncated final line (interrupted write) is skipped rather than
+    raised; any other malformed line is an error, since the sink only
+    ever writes whole lines.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                if line.endswith("\n"):
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed event line"
+                    ) from None
+                return  # truncated tail: the file ended mid-write
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: event is not an object")
+            yield event

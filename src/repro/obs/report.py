@@ -1,0 +1,202 @@
+"""Aggregate a span trace into a self-time / cumulative tree report.
+
+Spans are written to the sink when they *finish*, so a trace file lists
+children before parents.  The report reconstructs the tree from the
+recorded ``id``/``parent`` links, then merges spans that occupy the
+same position (identical name-path from the root) into one node with a
+count, a cumulative time, and a self time (cumulative minus children).
+That collapses, e.g., the 500 per-level ``schedule.level`` spans of a
+deep circuit into one line each for ``level.compute`` and
+``level.comm`` -- the per-phase breakdown the CLI renders::
+
+    python -m repro emulate de_bruijn mesh_2 --trace out.jsonl
+    python -m repro trace report out.jsonl
+
+The report's total is the summed cumulative time of the *top-level*
+spans (depth 0), which for a traced CLI run is the one root
+``cli.<command>`` span -- i.e. the command's wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.events import read_events
+
+__all__ = ["ReportNode", "TraceReport", "build_report", "load_report"]
+
+
+@dataclass
+class ReportNode:
+    """All spans sharing one name-path, merged."""
+
+    name: str
+    count: int = 0
+    cum: float = 0.0
+    children: dict[str, "ReportNode"] = field(default_factory=dict)
+
+    @property
+    def child_time(self) -> float:
+        return sum(child.cum for child in self.children.values())
+
+    @property
+    def self_time(self) -> float:
+        """Cumulative time not attributed to any child span."""
+        return max(0.0, self.cum - self.child_time)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready node: name, count, cum/self seconds, children."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "cum_s": round(self.cum, 6),
+            "self_s": round(self.self_time, 6),
+            "children": [
+                child.as_dict() for child in self._sorted_children()
+            ],
+        }
+
+    def _sorted_children(self) -> list["ReportNode"]:
+        return sorted(self.children.values(), key=lambda c: -c.cum)
+
+
+@dataclass
+class TraceReport:
+    """The aggregated tree plus the trace's counters and event tallies."""
+
+    roots: list[ReportNode]
+    num_spans: int
+    num_events: int
+    counters: dict[str, float]
+    event_counts: dict[str, int]
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed cumulative time of the top-level spans."""
+        return sum(root.cum for root in self.roots)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready report (what ``trace report --json`` prints)."""
+        return {
+            "total_seconds": round(self.total_seconds, 6),
+            "num_spans": self.num_spans,
+            "num_events": self.num_events,
+            "tree": [root.as_dict() for root in self.roots],
+            "counters": self.counters,
+            "events": self.event_counts,
+        }
+
+    def find(self, *path: str) -> ReportNode | None:
+        """The node at ``path`` from the root, or ``None``."""
+        nodes = {root.name: root for root in self.roots}
+        node = None
+        for name in path:
+            node = nodes.get(name)
+            if node is None:
+                return None
+            nodes = node.children
+        return node
+
+    def render(self, max_depth: int | None = None, min_ms: float = 0.0) -> str:
+        """The human-readable tree, widest subtrees first."""
+        total = self.total_seconds
+        lines = [
+            f"{'span':<44} {'count':>7} {'cum ms':>10} {'self ms':>10} "
+            f"{'cum%':>6}"
+        ]
+
+        def walk(node: ReportNode, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            if node.cum * 1000.0 < min_ms:
+                return
+            share = 100.0 * node.cum / total if total else 0.0
+            label = "  " * depth + node.name
+            lines.append(
+                f"{label:<44} {node.count:>7} {node.cum * 1e3:>10.3f} "
+                f"{node.self_time * 1e3:>10.3f} {share:>5.1f}%"
+            )
+            for child in node._sorted_children():
+                walk(child, depth + 1)
+
+        for root in sorted(self.roots, key=lambda r: -r.cum):
+            walk(root, 0)
+        lines.append(
+            f"total {total * 1e3:.3f} ms over {self.num_spans} spans"
+        )
+        if self.counters:
+            pairs = ", ".join(
+                f"{name}={value:g}" for name, value in self.counters.items()
+            )
+            lines.append(f"counters: {pairs}")
+        if self.event_counts:
+            pairs = ", ".join(
+                f"{name}x{count}"
+                for name, count in sorted(self.event_counts.items())
+            )
+            lines.append(f"events: {pairs}")
+        return "\n".join(lines)
+
+
+def build_report(events: Iterable[dict[str, Any]]) -> TraceReport:
+    """Aggregate parsed trace events into a :class:`TraceReport`."""
+    spans: dict[int, dict[str, Any]] = {}
+    counters: dict[str, float] = {}
+    event_counts: dict[str, int] = {}
+    num_events = 0
+    for record in events:
+        kind = record.get("type")
+        if kind == "span":
+            spans[int(record["id"])] = record
+        elif kind == "event":
+            num_events += 1
+            name = str(record.get("name"))
+            event_counts[name] = event_counts.get(name, 0) + 1
+        elif kind == "counters":
+            for name, value in (record.get("values") or {}).items():
+                counters[name] = counters.get(name, 0) + value
+
+    # Name-path of each span via its parent links, memoized.
+    paths: dict[int, tuple[str, ...]] = {}
+
+    def path_of(span_id: int) -> tuple[str, ...]:
+        cached = paths.get(span_id)
+        if cached is not None:
+            return cached
+        record = spans[span_id]
+        parent = int(record.get("parent") or 0)
+        if parent and parent in spans:
+            prefix = path_of(parent)
+        else:
+            prefix = ()
+        result = prefix + (str(record["name"]),)
+        paths[span_id] = result
+        return result
+
+    forest: dict[str, ReportNode] = {}
+    for span_id, record in spans.items():
+        nodes = forest
+        node = None
+        for name in path_of(span_id):
+            node = nodes.get(name)
+            if node is None:
+                node = nodes[name] = ReportNode(name)
+            nodes = node.children
+        assert node is not None
+        node.count += 1
+        node.cum += float(record.get("dur") or 0.0)
+
+    return TraceReport(
+        roots=sorted(forest.values(), key=lambda r: -r.cum),
+        num_spans=len(spans),
+        num_events=num_events,
+        counters=counters,
+        event_counts=event_counts,
+    )
+
+
+def load_report(path: str | Path) -> TraceReport:
+    """Read a JSON-lines trace file and aggregate it."""
+    return build_report(read_events(path))

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import trace as obs
 from repro.routing.tables import NextHopTables
 from repro.topologies.base import Machine
 
@@ -110,9 +111,18 @@ def route_fast(
         for t, chunk in zip(times, np.split(later, starts[1:])):
             pending[int(t)] = chunk
 
+    tracer = obs.get_tracer()  # hoisted: the loop body must stay lean
     tick = 0
     while undelivered > 0:
         tick += 1
+        if tracer is not None and tick % 1024 == 0:
+            tracer.event(
+                "route.progress",
+                engine="fast",
+                tick=tick,
+                undelivered=undelivered,
+                max_queue=max_queue,
+            )
         injected = pending.pop(tick, None)
         if injected is not None:
             enqueue(injected, leg_flat[leg_ptr[injected]])

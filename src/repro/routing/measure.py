@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import trace as obs
 from repro.routing.simulator import RoutingResult, RoutingSimulator
 from repro.routing.dimension_order import dimension_order_route
 from repro.routing.strategies import shortest_path_route, valiant_route
@@ -76,16 +77,25 @@ def measure_bandwidth(
         num_messages = 8 * n
     check_positive_int(num_messages, "num_messages")
 
-    messages = traffic.sample_messages(num_messages, seed=rng)
-    if strategy == "shortest":
-        itineraries = shortest_path_route(machine, messages)
-    elif strategy == "dimension_order":
-        itineraries = dimension_order_route(machine, messages)
-    else:
-        itineraries = valiant_route(machine, messages, seed=rng)
+    with obs.span(
+        "measure_bandwidth",
+        machine=machine.name,
+        strategy=strategy,
+        num_messages=num_messages,
+    ) as sp:
+        with obs.span("measure.sample"):
+            messages = traffic.sample_messages(num_messages, seed=rng)
+        with obs.span("measure.plan", strategy=strategy):
+            if strategy == "shortest":
+                itineraries = shortest_path_route(machine, messages)
+            elif strategy == "dimension_order":
+                itineraries = dimension_order_route(machine, messages)
+            else:
+                itineraries = valiant_route(machine, messages, seed=rng)
 
-    sim = RoutingSimulator(machine, policy=policy, engine=engine)
-    result: RoutingResult = sim.route(itineraries)
+        sim = RoutingSimulator(machine, policy=policy, engine=engine)
+        result: RoutingResult = sim.route(itineraries)
+        sp.set(ticks=result.total_time, rate=round(result.delivery_rate, 4))
     return BandwidthMeasurement(
         machine_name=machine.name,
         traffic_name=traffic.name,

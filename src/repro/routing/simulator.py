@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import trace as obs
 from repro.routing.engine import route_fast
 from repro.routing.tables import NextHopTables
 from repro.topologies.base import Machine
@@ -166,24 +167,33 @@ class RoutingSimulator:
                 self.tables.itinerary_hops(legs) + max(release_times) + 64
             )
 
-        if self.engine == "fast":
-            total_time, delivered, edge_traffic, max_queue = route_fast(
-                self.machine,
-                self.tables,
-                legs,
-                release_times,
-                max_ticks,
-                self.policy,
-                validate=self.validate,
-            )
-            return RoutingResult(
-                total_time=total_time,
-                num_packets=npkts,
-                delivery_times=delivered,
-                edge_traffic=edge_traffic,
-                max_queue=max_queue,
-            )
-        return self._route_reference(legs, release_times, max_ticks)
+        with obs.span(
+            f"route.{self.engine}", policy=self.policy, packets=npkts
+        ) as sp:
+            if self.engine == "fast":
+                total_time, delivered, edge_traffic, max_queue = route_fast(
+                    self.machine,
+                    self.tables,
+                    legs,
+                    release_times,
+                    max_ticks,
+                    self.policy,
+                    validate=self.validate,
+                )
+                result = RoutingResult(
+                    total_time=total_time,
+                    num_packets=npkts,
+                    delivery_times=delivered,
+                    edge_traffic=edge_traffic,
+                    max_queue=max_queue,
+                )
+            else:
+                result = self._route_reference(legs, release_times, max_ticks)
+            sp.set(ticks=result.total_time, max_queue=result.max_queue)
+        obs.add("route.calls")
+        obs.add("route.ticks", result.total_time)
+        obs.add("route.packets", npkts)
+        return result
 
     # -- the reference engine (executable specification) ----------------------
 
@@ -244,9 +254,18 @@ class RoutingSimulator:
             else:
                 pending.setdefault(t_rel, []).append(pid)
 
+        tracer = obs.get_tracer()  # hoisted: the loop body must stay lean
         tick = 0
         while undelivered > 0:
             tick += 1
+            if tracer is not None and tick % 1024 == 0:
+                tracer.event(
+                    "route.progress",
+                    engine="reference",
+                    tick=tick,
+                    undelivered=undelivered,
+                    max_queue=max_queue,
+                )
             for pid in pending.pop(tick, ()):  # newly injected packets
                 enqueue(legs[pid][0], pid)
             if tick > max_ticks:

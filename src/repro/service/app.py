@@ -35,12 +35,14 @@ protection there.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 from typing import Any, Mapping
 
 from repro import __version__
 from repro.harness import Job, ResultStore, SerialExecutor
+from repro.obs import trace as obs
 from repro.service import serializers
 from repro.service.cache import TTLCache
 from repro.service.metrics import ServiceMetrics
@@ -49,6 +51,10 @@ from repro.service.schemas import MAX_MACHINE_SIZE, ApiError, Field, Schema
 __all__ = ["QueryService"]
 
 _MAX_SEED = 2**31 - 1
+
+# Reusable stand-in for trace_context when no trace id was generated
+# (nullcontext instances are reentrant and shareable).
+_NO_TRACE = contextlib.nullcontext()
 
 BANDWIDTH_SCHEMA = Schema(
     Field("family", "family", required=True),
@@ -122,28 +128,42 @@ class QueryService:
         query: Mapping[str, str] | None = None,
         body: bytes = b"",
     ) -> tuple[int, dict[str, Any]]:
-        """One request in, ``(status, json_payload)`` out; never raises."""
+        """One request in, ``(status, json_payload)`` out; never raises.
+
+        When tracing is on, the whole request runs under one
+        ``service.request`` span tagged with a fresh trace id, which is
+        echoed back as ``meta.trace_id`` so a client can find its own
+        request in the trace file.
+        """
         t0 = time.perf_counter()
         methods = self._routes.get(path)
         label = f"{method} {path}" if methods else "unmatched"
-        try:
-            if methods is None:
-                raise ApiError(404, "route_not_found", f"no such route: {path!r}")
-            if method not in methods:
-                raise ApiError(
-                    405,
-                    "method_not_allowed",
-                    f"{path} supports {sorted(methods)}, not {method}",
-                )
-            schema, handler = methods[method]
-            params = self._params(method, schema, query or {}, body)
-            status, payload = handler(params)
-        except ApiError as exc:
-            status, payload = exc.status, exc.body()
-        except Exception as exc:  # a handler bug must still answer in JSON
-            status, payload = 500, ApiError(
-                500, "internal_error", f"{type(exc).__name__}: {exc}"
-            ).body()
+        trace_id = obs.new_trace_id() if obs.enabled() else None
+        with obs.trace_context(trace_id) if trace_id else _NO_TRACE:
+            with obs.span("service.request", endpoint=label) as sp:
+                try:
+                    if methods is None:
+                        raise ApiError(
+                            404, "route_not_found", f"no such route: {path!r}"
+                        )
+                    if method not in methods:
+                        raise ApiError(
+                            405,
+                            "method_not_allowed",
+                            f"{path} supports {sorted(methods)}, not {method}",
+                        )
+                    schema, handler = methods[method]
+                    params = self._params(method, schema, query or {}, body)
+                    status, payload = handler(params)
+                except ApiError as exc:
+                    status, payload = exc.status, exc.body()
+                except Exception as exc:  # a handler bug must answer in JSON
+                    status, payload = 500, ApiError(
+                        500, "internal_error", f"{type(exc).__name__}: {exc}"
+                    ).body()
+                sp.set(status=status)
+        if trace_id is not None and isinstance(payload.get("meta"), dict):
+            payload["meta"]["trace_id"] = trace_id
         self.metrics.observe(label, status, time.perf_counter() - t0)
         return status, payload
 
@@ -181,10 +201,14 @@ class QueryService:
         job = Job(fn, spec)
         hit, value = self.cache.get(job.job_hash)
         if hit:
+            obs.event("job.cache_hit", tier="memory", fn=job.fn,
+                      hash=job.job_hash[:12])
             return value, "memory"
         if self.store is not None:
             hit, value = self.store.get(job)
             if hit:
+                obs.event("job.cache_hit", tier="store", fn=job.fn,
+                          hash=job.job_hash[:12])
                 self.cache.put(job.job_hash, value)
                 return value, "store"
         result = self.executor.run([job])[0]
@@ -216,6 +240,7 @@ class QueryService:
         }
 
     def _h_metrics(self, _params: dict) -> tuple[int, dict[str, Any]]:
+        tracer = obs.get_tracer()
         return 200, {
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "endpoints": self.metrics.snapshot(),
@@ -225,6 +250,9 @@ class QueryService:
                     self.store.stats.as_dict() if self.store is not None else None
                 ),
             },
+            # Live span aggregates + counters when tracing is enabled
+            # (null otherwise, so the key is stable for scrapers).
+            "trace": tracer.stats() if tracer is not None else None,
         }
 
     def _h_families(self, _params: dict) -> tuple[int, dict[str, Any]]:

@@ -34,6 +34,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
 from repro.harness import ResultStore
+from repro.obs import trace as obs
 from repro.service.app import QueryService
 
 __all__ = ["ServiceHandler", "ServiceServer", "create_server", "serve"]
@@ -200,8 +201,17 @@ def serve(
     max_workers: int = 8,
     verbose: bool = False,
     drain_timeout: float = 10.0,
+    trace: str | None = None,
 ) -> int:
-    """Run the service until SIGTERM/SIGINT, then drain; returns exit code."""
+    """Run the service until SIGTERM/SIGINT, then drain; returns exit code.
+
+    ``trace`` enables process-wide span tracing into a size-rotated
+    JSON-lines file: one ``service.request`` span per request (trace id
+    echoed in ``meta.trace_id``), live span stats on ``GET /metrics``,
+    and ``python -m repro trace report <file>`` afterwards.
+    """
+    if trace:
+        obs.configure(trace)
     server = create_server(
         host=host,
         port=port,
@@ -223,10 +233,11 @@ def serve(
     }
     bound_host, bound_port = server.server_address[:2]
     store_note = f", store={store}" if store else ", no store (memory tier only)"
+    trace_note = f", trace={trace}" if trace else ""
     print(
         f"repro-service {__version__} listening on "
         f"http://{bound_host}:{bound_port} "
-        f"(workers={max_workers}, ttl={ttl:g}s{store_note})",
+        f"(workers={max_workers}, ttl={ttl:g}s{store_note}{trace_note})",
         flush=True,
     )
     runner = threading.Thread(target=server.serve_forever, daemon=True)
@@ -239,6 +250,8 @@ def serve(
         runner.join(timeout=drain_timeout)
         for sig, handler in previous.items():
             signal.signal(sig, handler)
+        if trace:
+            obs.disable()  # flush counters + close the trace file
         print("bye" if drained else "drain timed out; closed anyway",
               flush=True)
     return 0 if drained else 1

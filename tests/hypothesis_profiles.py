@@ -1,0 +1,37 @@
+"""Standardized Hypothesis settings profiles for property tests.
+
+One place to tune how hard the fuzzers work, instead of ad-hoc
+``@settings(max_examples=N)`` literals scattered per test.  Tiers (in
+descending effort -- example counts are scaled to this repo's examples,
+which each build machines and route packets, so they are 5-20x heavier
+than a typical pure-function property):
+
+* ``DETERMINISM``  -- hashing/canonicalization invariants where a single
+  counterexample means silent cache corruption; worth the most examples.
+* ``STANDARD``     -- regular model properties (bound validity,
+  conservation laws) on small random machines.
+* ``SLOW``         -- properties that route packets or schedule circuits
+  on every example.
+* ``QUICK``        -- expensive cross-implementation consistency checks
+  (LP solves, congestion routing) where each example is seconds-scale.
+
+``deadline=None`` everywhere: example runtime is dominated by machine
+size drawn by the strategy, so per-example deadlines only produce flaky
+``DeadlineExceeded`` failures on slow CI machines.
+
+Override locally with ``HYPOTHESIS_PROFILE=thorough`` (10x examples)
+when hunting for rare counterexamples.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+_SCALE = 10 if os.environ.get("HYPOTHESIS_PROFILE") == "thorough" else 1
+
+DETERMINISM = settings(max_examples=50 * _SCALE, deadline=None)
+STANDARD = settings(max_examples=25 * _SCALE, deadline=None)
+SLOW = settings(max_examples=15 * _SCALE, deadline=None)
+QUICK = settings(max_examples=10 * _SCALE, deadline=None)

@@ -11,8 +11,10 @@ from __future__ import annotations
 import networkx as nx
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
+
+from tests.hypothesis_profiles import QUICK, SLOW, STANDARD
 
 from repro.bandwidth import beta_bracket, routing_congestion
 from repro.embedding import bfs_embedding, random_embedding
@@ -61,14 +63,14 @@ def random_traffic(draw, n):
 
 class TestRandomMachineInvariants:
     @given(random_machine())
-    @settings(max_examples=25, deadline=None)
+    @STANDARD
     def test_bracket_valid(self, m):
         """Certified bracket is ordered and finite on any machine."""
         br = beta_bracket(m)
         assert 0 < br.lower <= br.upper < float("inf")
 
     @given(random_machine())
-    @settings(max_examples=20, deadline=None)
+    @STANDARD
     def test_next_hop_progress(self, m):
         """Every next hop strictly decreases distance (no routing loops)."""
         t = NextHopTables(m)
@@ -81,7 +83,7 @@ class TestRandomMachineInvariants:
                     ) - 1
 
     @given(random_machine(max_n=14), st.integers(min_value=1, max_value=25))
-    @settings(max_examples=20, deadline=None)
+    @SLOW
     def test_all_packets_delivered(self, m, k):
         """Conservation: every injected packet is delivered exactly once."""
         rng = np.random.default_rng(7)
@@ -94,7 +96,7 @@ class TestRandomMachineInvariants:
         assert np.all(res.delivery_times >= 0)
 
     @given(random_machine(max_n=14))
-    @settings(max_examples=15, deadline=None)
+    @SLOW
     def test_lemma8_respected_by_simulator(self, m):
         """Routed time always beats the Lemma-8 lower bound."""
         rng = np.random.default_rng(3)
@@ -114,7 +116,7 @@ class TestRandomMachineInvariants:
 
 class TestEmbeddingInvariants:
     @given(random_machine(max_n=16), st.integers(min_value=0, max_value=10**4))
-    @settings(max_examples=20, deadline=None)
+    @STANDARD
     def test_embeddings_always_valid(self, host, seed):
         """Random guests embed with consistent congestion >= max path use."""
         rng = np.random.default_rng(seed)
@@ -126,7 +128,7 @@ class TestEmbeddingInvariants:
         assert emb.dilation() >= 1
 
     @given(random_machine(max_n=16))
-    @settings(max_examples=15, deadline=None)
+    @SLOW
     def test_bfs_no_worse_than_random_on_self(self, host):
         """Embedding the host's own graph: BFS locality never loses to a
         random map by more than the trivial factor."""
@@ -143,7 +145,7 @@ class TestCircuitInvariants:
         st.integers(min_value=1, max_value=4),
         st.integers(min_value=1, max_value=3),
     )
-    @settings(max_examples=20, deadline=None)
+    @STANDARD
     def test_collapse_conserves_arcs(self, n, depth, dup):
         """Cross arcs + intra arcs == all arcs, for any block count."""
         c = build_redundant_circuit(build_ring(n), depth, duplicity=dup)
@@ -154,7 +156,7 @@ class TestCircuitInvariants:
                 assert tm.num_simple_edges == 0
 
     @given(st.integers(min_value=4, max_value=10), st.integers(min_value=1, max_value=4))
-    @settings(max_examples=15, deadline=None)
+    @SLOW
     def test_schedule_time_scales_with_depth(self, n, depth):
         """Doubling circuit depth doubles the scheduled host time."""
         g = build_ring(n)
@@ -166,7 +168,7 @@ class TestCircuitInvariants:
         assert s2.host_time == 2 * s1.host_time
 
     @given(st.integers(min_value=4, max_value=12), st.integers(min_value=1, max_value=3))
-    @settings(max_examples=15, deadline=None)
+    @STANDARD
     def test_nonredundant_work_exact(self, n, depth):
         c = build_nonredundant_circuit(build_ring(n), depth)
         assert c.num_nodes == n * (depth + 1)
@@ -176,7 +178,7 @@ class TestCircuitInvariants:
 
 class TestCongestionConsistency:
     @given(random_machine(max_n=12))
-    @settings(max_examples=10, deadline=None)
+    @QUICK
     def test_explicit_traffic_congestion_additive(self, m):
         """Doubling a traffic multigraph doubles its routed congestion."""
         tm = TrafficMultigraph(m.num_nodes, {(0, m.num_nodes - 1): 3})
@@ -187,7 +189,7 @@ class TestCongestionConsistency:
         assert c2 == 2 * c1
 
     @given(random_machine(max_n=12))
-    @settings(max_examples=10, deadline=None)
+    @QUICK
     def test_cut_bound_below_lp(self, m):
         """Cut-family lower bound never exceeds the LP-exact optimum."""
         from repro.bandwidth import lp_min_congestion
