@@ -133,10 +133,13 @@ def test_engine_speedup(benchmark, request):
     records, cache_stats = benchmark.pedantic(
         _run_ab, args=(configs,), rounds=1, iterations=1
     )
-    _JSON_PATH.write_text(
-        json.dumps({"records": records, "harness_cache": cache_stats}, indent=2)
-        + "\n"
-    )
+    # Merge-write: bench_batch.py owns the batch_records key of the same
+    # file, so preserve any keys this bench does not produce itself.
+    payload = {}
+    if _JSON_PATH.exists():
+        payload = json.loads(_JSON_PATH.read_text())
+    payload.update({"records": records, "harness_cache": cache_stats})
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     rows = [
         (

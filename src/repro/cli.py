@@ -30,7 +30,12 @@ import time
 
 from repro.bandwidth import beta_bracket, beta_value
 from repro.emulation import Emulator
-from repro.routing import measure_bandwidth, saturation_sweep
+from repro.experiments import replicate
+from repro.routing import (
+    measure_bandwidth,
+    measure_bandwidth_many,
+    saturation_sweep,
+)
 from repro.theory import (
     figure1_data,
     full_catalog,
@@ -162,12 +167,29 @@ def _cmd_bandwidth(args) -> int:
         machine = _family(args.family).build_with_size(args.size)
         br = beta_bracket(machine)
         meas = measure_bandwidth(machine, seed=args.seed, engine=args.engine)
+        rep = None
+        if args.replicates > 1:
+            rep = replicate(
+                lambda seeds: [
+                    m.rate
+                    for m in measure_bandwidth_many(
+                        machine, seeds, engine=args.engine
+                    )
+                ],
+                num_seeds=args.replicates,
+                base_seed=args.seed,
+                batch=True,
+            )
     print(f"machine: {machine!r} [engine={args.engine}]")
     print(f"closed form beta:  {beta_value(args.family, machine.num_nodes):.2f} "
           f"(Theta({family_spec(args.family).beta}))")
     print(f"certified bracket: [{br.lower:.2f}, {br.upper:.2f}]")
     print(f"measured rate:     {meas.rate:.2f} packets/tick "
           f"({meas.num_messages} msgs in {meas.total_time} ticks)")
+    if rep is not None:
+        print(f"replicated rate:   {rep}")
+        print(f"                   p50 {rep.p50:.3f}, "
+              f"mean {rep.mean:.3f} +/- {rep.ci95:.3f} (95% CI)")
     return 0
 
 
@@ -394,6 +416,13 @@ def build_parser() -> argparse.ArgumentParser:
     bw.add_argument("family")
     bw.add_argument("--size", type=int, default=256)
     bw.add_argument("--seed", type=int, default=0)
+    bw.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="also replicate the measurement over this many seeds "
+        "(batched kernel) and report mean/p50 with a 95%% CI",
+    )
     bw.add_argument(
         "--engine",
         choices=["fast", "reference"],

@@ -53,6 +53,20 @@ class Replication:
         return float(np.max(self.values))
 
     @property
+    def p50(self) -> float:
+        """Median replicate (robust central tendency)."""
+        return float(np.median(self.values))
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95% confidence
+        interval for the mean: ``1.96 * std / sqrt(n)``; 0.0 when fewer
+        than two replicates make dispersion unmeasurable."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(1.96 * self.std / np.sqrt(len(self.values)))
+
+    @property
     def cv(self) -> float:
         """Coefficient of variation (std / mean); dispersion at a glance.
 
@@ -67,7 +81,8 @@ class Replication:
     def __str__(self) -> str:
         return (
             f"{self.mean:.3f} +/- {self.std:.3f} "
-            f"(n={self.n}, range [{self.min:.3f}, {self.max:.3f}])"
+            f"(n={self.n}, ci95 {self.ci95:.3f}, "
+            f"range [{self.min:.3f}, {self.max:.3f}])"
         )
 
 
@@ -78,6 +93,7 @@ def replicate(
     *,
     parallel: int | None = None,
     executor=None,
+    batch: bool = False,
 ) -> Replication:
     """Run ``measurement(seed)`` for ``num_seeds`` distinct seeds.
 
@@ -88,8 +104,28 @@ def replicate(
     an independent pure call, the parallel result is bit-identical to
     the serial one.  Unpicklable measurements (lambdas, closures)
     degrade gracefully to the serial path.
+
+    ``batch=True`` instead calls ``measurement(seeds)`` **once** with
+    the whole seed list and expects one value per seed back -- the
+    in-process fast path for batched measurements such as
+    :func:`repro.routing.measure_bandwidth_many`, which amortize shared
+    setup and the simulator tick loop across seeds without any
+    multiprocessing pickling cost.  The values must match the per-seed
+    call bit-for-bit (the batched measurements in this repo do).
     """
     check_positive_int(num_seeds, "num_seeds")
+    if batch:
+        if parallel is not None or executor is not None:
+            raise ValueError("batch=True already amortizes; it cannot "
+                             "be combined with parallel/executor")
+        raw = measurement([base_seed + i for i in range(num_seeds)])
+        values = tuple(float(v) for v in raw)
+        if len(values) != num_seeds:
+            raise ValueError(
+                f"batch measurement returned {len(values)} values "
+                f"for {num_seeds} seeds"
+            )
+        return Replication(values=values)
     if executor is None and parallel is not None and parallel > 1:
         from repro.harness.executors import ParallelExecutor
 

@@ -39,6 +39,7 @@ __all__ = [
 #: Short aliases -> dotted ``"module:callable"`` job entry points.
 BUILTIN_JOBS: dict[str, str] = {
     "measure_bandwidth": "repro.routing.measure:measure_bandwidth_job",
+    "measure_bandwidth_batch": "repro.routing.measure:measure_bandwidth_batch_job",
     "saturation_sweep": "repro.routing.saturation:saturation_sweep_job",
     "catalog_cell": "repro.theory.catalog:catalog_cell_job",
     "emulate": "repro.emulation.emulator:emulate_job",

@@ -14,7 +14,11 @@ from repro.routing.dimension_order import (
     DimensionOrderRouter,
     dimension_order_route,
 )
-from repro.routing.measure import BandwidthMeasurement, measure_bandwidth
+from repro.routing.measure import (
+    BandwidthMeasurement,
+    measure_bandwidth,
+    measure_bandwidth_many,
+)
 from repro.routing.saturation import (
     SaturationPoint,
     saturation_bandwidth,
@@ -38,6 +42,7 @@ __all__ = [
     "saturation_bandwidth",
     "saturation_sweep",
     "measure_bandwidth",
+    "measure_bandwidth_many",
     "shortest_path_route",
     "valiant_route",
 ]

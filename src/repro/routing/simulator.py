@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import trace as obs
-from repro.routing.engine import route_fast
+from repro.routing.engine import route_fast, route_many
 from repro.routing.tables import NextHopTables
 from repro.topologies.base import Machine
 
@@ -124,12 +124,152 @@ class RoutingSimulator:
         every packet has been delivered; ``delivery_times`` are absolute
         clock values.
         """
+        npkts = len(itineraries)
+        if npkts == 0:
+            return RoutingResult(0, 0, np.zeros(0, dtype=np.int64), {})
+        legs, release_times, max_ticks = self._prepare(
+            itineraries, release_times, max_ticks
+        )
+
+        with obs.span(
+            f"route.{self.engine}", policy=self.policy, packets=npkts
+        ) as sp:
+            if self.engine == "fast":
+                total_time, delivered, edge_traffic, max_queue = route_fast(
+                    self.machine,
+                    self.tables,
+                    legs,
+                    release_times,
+                    max_ticks,
+                    self.policy,
+                    validate=self.validate,
+                )
+                result = RoutingResult(
+                    total_time=total_time,
+                    num_packets=npkts,
+                    delivery_times=delivered,
+                    edge_traffic=edge_traffic,
+                    max_queue=max_queue,
+                )
+            else:
+                result = self._route_reference(legs, release_times, max_ticks)
+            sp.set(ticks=result.total_time, max_queue=result.max_queue)
+        obs.add("route.calls")
+        obs.add("route.ticks", result.total_time)
+        obs.add("route.packets", npkts)
+        return result
+
+    def route_batch(
+        self,
+        itineraries_list: list[list[list[int]]],
+        release_times_list: list[list[int] | None] | None = None,
+        max_ticks: int | list[int | None] | None = None,
+    ) -> list[RoutingResult]:
+        """Route K independent runs; each result is bit-identical to
+        :meth:`route` on that run alone.
+
+        ``itineraries_list`` holds one itinerary batch per run;
+        ``release_times_list`` (optional) one release vector per run
+        (``None`` entries mean all-zero releases); ``max_ticks`` is a
+        single budget shared by every run, a per-run list, or ``None``
+        for the per-run hop-derived default.  On the fast engine all
+        runs share one vectorized tick loop (:func:`route_many`) keyed
+        by per-run virtual edge ids, so the per-tick dispatch overhead
+        amortizes across the batch; the reference engine routes the
+        runs sequentially.  Either way a run that would raise alone
+        (exceeding its own ``max_ticks``) raises here too.
+        """
+        K = len(itineraries_list)
+        if release_times_list is None:
+            release_times_list = [None] * K
+        if len(release_times_list) != K:
+            raise ValueError(
+                f"{len(release_times_list)} release vectors for {K} runs"
+            )
+        if isinstance(max_ticks, list):
+            if len(max_ticks) != K:
+                raise ValueError(f"{len(max_ticks)} max_ticks for {K} runs")
+            budgets = max_ticks
+        else:
+            budgets = [max_ticks] * K
+        if K == 0:
+            return []
+
+        total_packets = sum(len(its) for its in itineraries_list)
+        with obs.span(
+            "route.batch",
+            engine=self.engine,
+            policy=self.policy,
+            runs=K,
+            packets=total_packets,
+        ) as sp:
+            if self.engine != "fast":
+                results = [
+                    self.route(its, max_ticks=mt, release_times=rel)
+                    for its, rel, mt in zip(
+                        itineraries_list, release_times_list, budgets
+                    )
+                ]
+            else:
+                # Prepare every run exactly as route() would, then hand
+                # the non-empty ones to the shared kernel.
+                prepared: list[tuple[list, list, int] | None] = []
+                for its, rel, mt in zip(
+                    itineraries_list, release_times_list, budgets
+                ):
+                    if len(its) == 0:
+                        prepared.append(None)
+                    else:
+                        prepared.append(self._prepare(its, rel, mt))
+                live = [p for p in prepared if p is not None]
+                raw = iter(
+                    route_many(
+                        self.machine,
+                        self.tables,
+                        live,
+                        self.policy,
+                        validate=self.validate,
+                    )
+                )
+                results = []
+                for p in prepared:
+                    if p is None:
+                        results.append(
+                            RoutingResult(0, 0, np.zeros(0, dtype=np.int64), {})
+                        )
+                        continue
+                    total_time, delivered, edge_traffic, max_queue = next(raw)
+                    results.append(
+                        RoutingResult(
+                            total_time=total_time,
+                            num_packets=len(p[0]),
+                            delivery_times=delivered,
+                            edge_traffic=edge_traffic,
+                            max_queue=max_queue,
+                        )
+                    )
+            sp.set(ticks=max((r.total_time for r in results), default=0))
+        obs.add("route.batch.calls")
+        obs.add("route.batch.runs", K)
+        obs.add("route.batch.packets", total_packets)
+        return results
+
+    def _prepare(
+        self,
+        itineraries: list[list[int]],
+        release_times: list[int] | None,
+        max_ticks: int | None,
+    ) -> tuple[list[list[int]], list[int], int]:
+        """Validate one run's inputs and collapse its itineraries.
+
+        This is the shared front half of :meth:`route` and
+        :meth:`route_batch`: same checks, same leg collapsing, same
+        hop-derived default tick budget, so the two paths cannot drift.
+        """
         for it in itineraries:
             if len(it) < 2:
                 raise ValueError(f"itinerary needs src and dest, got {it}")
         npkts = len(itineraries)
-        if npkts == 0:
-            return RoutingResult(0, 0, np.zeros(0, dtype=np.int64), {})
 
         if release_times is None:
             release_times = [0] * npkts
@@ -166,34 +306,7 @@ class RoutingSimulator:
             max_ticks = (
                 self.tables.itinerary_hops(legs) + max(release_times) + 64
             )
-
-        with obs.span(
-            f"route.{self.engine}", policy=self.policy, packets=npkts
-        ) as sp:
-            if self.engine == "fast":
-                total_time, delivered, edge_traffic, max_queue = route_fast(
-                    self.machine,
-                    self.tables,
-                    legs,
-                    release_times,
-                    max_ticks,
-                    self.policy,
-                    validate=self.validate,
-                )
-                result = RoutingResult(
-                    total_time=total_time,
-                    num_packets=npkts,
-                    delivery_times=delivered,
-                    edge_traffic=edge_traffic,
-                    max_queue=max_queue,
-                )
-            else:
-                result = self._route_reference(legs, release_times, max_ticks)
-            sp.set(ticks=result.total_time, max_queue=result.max_queue)
-        obs.add("route.calls")
-        obs.add("route.ticks", result.total_time)
-        obs.add("route.packets", npkts)
-        return result
+        return legs, release_times, max_ticks
 
     # -- the reference engine (executable specification) ----------------------
 

@@ -61,6 +61,11 @@ BANDWIDTH_SCHEMA = Schema(
     Field("size", "int", default=256, minimum=2, maximum=MAX_MACHINE_SIZE),
     Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
     Field("engine", "str", default="fast", choices=("fast", "reference")),
+    # replicates > 1 switches to the seed-replicated estimate (seeds
+    # seed, seed+1, ...); batch=0 opts out of the batched multi-run
+    # kernel (same values, slower -- an equivalence escape hatch).
+    Field("replicates", "int", default=1, minimum=1, maximum=64),
+    Field("batch", "int", default=1, minimum=0, maximum=1),
 )
 
 CATALOG_SCHEMA = Schema(
@@ -260,7 +265,19 @@ class QueryService:
 
     def _h_bandwidth(self, params: dict) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        value, tier = self._run_job("measure_bandwidth", params)
+        if params.get("replicates", 1) > 1:
+            spec = dict(params)
+            spec["base_seed"] = spec.pop("seed")
+            value, tier = self._run_job("measure_bandwidth_batch", spec)
+        else:
+            # Single-seed path: drop the replication-only knobs so the
+            # job spec (and therefore the cache key) is unchanged from
+            # before they existed.
+            spec = {
+                k: v for k, v in params.items()
+                if k not in ("replicates", "batch")
+            }
+            value, tier = self._run_job("measure_bandwidth", spec)
         return 200, {"result": value, "meta": self._meta(tier, t0)}
 
     def _h_catalog(self, params: dict) -> tuple[int, dict[str, Any]]:

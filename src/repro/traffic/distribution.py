@@ -73,12 +73,31 @@ class TrafficDistribution:
         self, m: int, seed: int | np.random.Generator | None = None
     ) -> list[tuple[int, int]]:
         """Draw ``m`` (source, destination) messages i.i.d. from ``pi``."""
-        check_positive_int(m, "m")
-        rng = rng_from_seed(seed)
+        return self.sampler()(m, seed)
+
+    def sampler(self):
+        """A reusable sampling closure over this distribution.
+
+        The pair list and normalized weight vector are materialized
+        once; each call then draws exactly like :meth:`sample_messages`
+        (bit-identical given the same rng state), so callers sampling
+        many batches from one distribution -- seed replication, offered-
+        load sweeps -- skip the per-call O(support) setup.
+        """
         keys = list(self.pairs.keys())
         w = np.fromiter(self.pairs.values(), dtype=float, count=len(keys))
-        idx = rng.choice(len(keys), size=m, p=w / w.sum())
-        return [keys[i] for i in idx]
+        p = w / w.sum()
+        support = len(keys)
+
+        def draw(
+            m: int, seed: int | np.random.Generator | None = None
+        ) -> list[tuple[int, int]]:
+            check_positive_int(m, "m")
+            rng = rng_from_seed(seed)
+            idx = rng.choice(support, size=m, p=p)
+            return [keys[i] for i in idx]
+
+        return draw
 
     def restrict(self, nodes: Iterable[int]) -> "TrafficDistribution":
         """Restriction to pairs entirely inside ``nodes`` (relabelled 0..)."""
