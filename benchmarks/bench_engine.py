@@ -33,10 +33,13 @@ from pathlib import Path
 
 import pytest
 
+import numpy as np
+
 from conftest import emit
 from repro.harness import Job, ResultStore, run_sweep
-from repro.routing import measure_bandwidth
-from repro.topologies import family_spec
+from repro.routing import RoutingSimulator, measure_bandwidth
+from repro.routing import compiled as compiled_backend
+from repro.topologies import build_ring, family_spec
 from repro.traffic import symmetric_traffic
 from repro.util import format_table
 
@@ -163,3 +166,204 @@ def test_engine_speedup(benchmark, request):
     big = [r for r in records if r["n"] >= 256]
     if big:
         assert max(r["speedup"] for r in big) >= 10.0, big
+
+
+#: The engine-matrix grid: four registry families at both sizes.  The
+#: linear array is deliberately absent -- at n=1024 a random batch means
+#: ~2.8M packet-hops, which the per-event Python engine grinds through
+#: for minutes while telling us nothing the n=256 A/B above doesn't.
+MATRIX_FAMILIES = ["xtree", "mesh_2", "de_bruijn", "hypercube"]
+MATRIX_SIZES = [256, 1024]
+#: Engines raced in the matrix (compiled joins when a provider works).
+MATRIX_ENGINES = ["fast", "event"] + (
+    ["compiled"] if compiled_backend.capability()["available"] else []
+)
+
+
+def _matrix_cell(key: str, size: int) -> dict:
+    """Race every engine on one (family, n) cell, route-only.
+
+    The machine, next-hop tables, compiled kernel layout, and the
+    workload (a random 8n-message batch, the bandwidth-measurement
+    default, handed over as one ndarray so the rectangular fast path
+    applies) are all built before the timed region, so the numbers
+    isolate the engines' tick/event loops; each engine's result is
+    asserted identical to the fast engine's before its time counts.
+    FIFO arbitration keeps every engine's queue pops O(1), so the race
+    measures scheduling machinery rather than priority-heap upkeep.
+    """
+    machine = family_spec(key).build_with_size(size)
+    n = machine.num_nodes
+    rng = np.random.default_rng(0)
+    m = 8 * n
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    its = np.column_stack([src, dst])
+    row = {"family": key, "n": size, "num_messages": m}
+    baseline = None
+    for engine in MATRIX_ENGINES:
+        sim = RoutingSimulator(machine, policy="fifo", engine=engine)
+        res = sim.route(its)  # warm: tables, provider, kernel layout
+        if baseline is None:
+            baseline = res
+        else:
+            assert res.total_time == baseline.total_time, (key, size, engine)
+            assert np.array_equal(
+                res.delivery_times, baseline.delivery_times
+            ), (key, size, engine)
+            assert res.edge_traffic == baseline.edge_traffic, (
+                key, size, engine,
+            )
+        elapsed = float("inf")
+        for _ in range(3):  # best-of-3: one-shot timings are too noisy
+            t0 = time.perf_counter()
+            sim.route(its)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        row[f"{engine}_seconds"] = round(elapsed, 4)
+        row[f"{engine}_packets_per_sec"] = round(m / elapsed, 1)
+    return row
+
+
+def test_engine_matrix(benchmark):
+    """fast/event/compiled packets-per-sec across the family grid.
+
+    Emits the ``engine_matrix`` key of BENCH_routing.json (plus the
+    ``compiled_backend`` capability probe, so hosts without a provider
+    record *why* the compiled column is missing).  The acceptance bar:
+    the compiled kernel clears 1M packets/sec on at least one n=1024
+    family when a provider is available.
+    """
+    cells = [(f, s) for f in MATRIX_FAMILIES for s in MATRIX_SIZES]
+    matrix = benchmark.pedantic(
+        lambda: [_matrix_cell(f, s) for f, s in cells],
+        rounds=1,
+        iterations=1,
+    )
+    payload = {}
+    if _JSON_PATH.exists():
+        payload = json.loads(_JSON_PATH.read_text())
+    payload.update(
+        {
+            "engine_matrix": matrix,
+            "compiled_backend": compiled_backend.capability(),
+        }
+    )
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        tuple(
+            [r["family"], r["n"]]
+            + [
+                f"{r.get(f'{e}_packets_per_sec', float('nan')):12.0f}"
+                for e in ("fast", "event", "compiled")
+                if f"{e}_packets_per_sec" in r
+            ]
+        )
+        for r in matrix
+    ]
+    emit(
+        format_table(
+            ["family", "n"] + [f"{e} pkt/s" for e in MATRIX_ENGINES],
+            rows,
+            title="Engine matrix (identical results; BENCH_routing.json)",
+        )
+    )
+    if "compiled" in MATRIX_ENGINES:
+        peak = max(
+            r["compiled_packets_per_sec"] for r in matrix if r["n"] == 1024
+        )
+        assert peak >= 1_000_000, matrix
+    else:
+        emit(
+            "compiled engine unavailable: "
+            + str(compiled_backend.capability()["reason"])
+        )
+
+
+def test_event_low_injection_speedup(benchmark):
+    """The event engine's home regime: a rate <= 0.05 open-loop sweep.
+
+    Reuses the saturation-sweep workload construction (ring of 8,
+    Bernoulli injection over 16384 ticks) but times only the routing
+    calls, so the speedup measures the engines rather than the shared
+    workload generation.  Records ``event_low_injection`` in
+    BENCH_routing.json; the bar is >= 10x over the fast engine, with
+    >= 90% of ticks skipped at the sparsest rate.
+    """
+    machine = build_ring(8)
+    n = machine.num_nodes
+    rates = [0.01, 0.02, 0.05]
+    duration = 16384
+    rng = np.random.default_rng(0)
+    draw = symmetric_traffic(n).sampler()
+    runs = []
+    for r in rates:
+        inject = rng.random((duration, n)) < r
+        msgs = draw(int(inject.sum()), seed=rng)
+        ticks, nodes = np.nonzero(inject)
+        dst = np.asarray(msgs, dtype=np.int64)[:, 1]
+        dst = np.where(dst == nodes, (dst + 1) % n, dst)
+        runs.append(
+            (np.column_stack([nodes, dst]).tolist(), ticks.tolist())
+        )
+
+    def race():
+        out = {}
+        results = {}
+        skipped = 0
+        for engine in ("fast", "event"):
+            sim = RoutingSimulator(machine, policy="fifo", engine=engine)
+            sim.route(runs[0][0][:4], release_times=runs[0][1][:4])  # warm
+            t0 = time.perf_counter()
+            results[engine] = [
+                sim.route(its, release_times=rel) for its, rel in runs
+            ]
+            out[engine] = time.perf_counter() - t0
+        from repro.obs import trace as obs
+
+        fractions = []
+        sim = RoutingSimulator(machine, policy="fifo", engine="event")
+        for its, rel in runs:
+            with obs.tracing(sink=obs.MemorySink()) as tracer:
+                res = sim.route(its, release_times=rel)
+                skipped += tracer.counters()["route.ticks_skipped"]
+            fractions.append(
+                round(
+                    tracer.counters()["route.ticks_skipped"]
+                    / res.total_time,
+                    4,
+                )
+            )
+        for a, b in zip(results["fast"], results["event"]):
+            assert a.total_time == b.total_time
+            assert np.array_equal(a.delivery_times, b.delivery_times)
+            assert a.edge_traffic == b.edge_traffic
+        total_ticks = sum(r.total_time for r in results["fast"])
+        return {
+            "machine": "ring",
+            "n": n,
+            "rates": rates,
+            "duration": duration,
+            "fast_seconds": round(out["fast"], 4),
+            "event_seconds": round(out["event"], 4),
+            "speedup": round(out["fast"] / out["event"], 2),
+            "ticks_skipped_fraction": round(skipped / total_ticks, 4),
+            "ticks_skipped_fraction_by_rate": fractions,
+        }
+
+    record = benchmark.pedantic(race, rounds=1, iterations=1)
+    payload = {}
+    if _JSON_PATH.exists():
+        payload = json.loads(_JSON_PATH.read_text())
+    payload.update({"event_low_injection": record})
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(
+        f"low-injection sweep (ring n={n}, rates<=0.05): "
+        f"event {record['speedup']}x over fast, "
+        f"{record['ticks_skipped_fraction']:.1%} of ticks skipped"
+    )
+    assert record["speedup"] >= 10.0, record
+    # The sparsest point (rate 0.01) must skip the overwhelming
+    # majority of its ticks; denser points skip proportionally less.
+    assert record["ticks_skipped_fraction_by_rate"][0] >= 0.9, record
+    assert record["ticks_skipped_fraction"] >= 0.7, record

@@ -32,6 +32,7 @@ from repro.bandwidth import beta_bracket, beta_value
 from repro.emulation import Emulator
 from repro.experiments import replicate
 from repro.routing import (
+    EngineUnavailableError,
     measure_bandwidth,
     measure_bandwidth_many,
     saturation_sweep,
@@ -425,9 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bw.add_argument(
         "--engine",
-        choices=["fast", "reference"],
+        choices=["fast", "reference", "event", "compiled", "auto"],
         default="fast",
-        help="simulator engine (both give identical results)",
+        help="simulator engine (all give identical results; "
+        "see docs/PERFORMANCE.md for when each wins)",
     )
     _add_trace_flag(bw)
     bw.set_defaults(fn=_cmd_bandwidth)
@@ -442,9 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sat.add_argument(
         "--engine",
-        choices=["fast", "reference"],
+        choices=["fast", "reference", "event", "compiled", "auto"],
         default="fast",
-        help="simulator engine (both give identical results)",
+        help="simulator engine (all give identical results; "
+        "see docs/PERFORMANCE.md for when each wins)",
     )
     _add_trace_flag(sat)
     sat.set_defaults(fn=_cmd_saturation)
@@ -586,6 +589,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except EngineUnavailableError as exc:
+        # --engine compiled without Numba or a C toolchain: one clean
+        # line (the probe's reason), not a traceback.
+        raise SystemExit(f"error: {exc}") from None
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

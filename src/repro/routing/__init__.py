@@ -10,6 +10,7 @@ Weak machines (``port_limit=1``) additionally allow each processor to
 drive only one outgoing link per step.
 """
 
+from repro.routing.compiled import EngineUnavailableError
 from repro.routing.dimension_order import (
     DimensionOrderRouter,
     dimension_order_route,
@@ -32,6 +33,7 @@ from repro.routing.tables import NextHopTables
 __all__ = [
     "BandwidthMeasurement",
     "DimensionOrderRouter",
+    "EngineUnavailableError",
     "dimension_order_route",
     "NextHopTables",
     "RoutingResult",

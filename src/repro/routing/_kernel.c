@@ -1,0 +1,260 @@
+/* C translation of the routing tick kernel.
+ *
+ * This file is a line-for-line port of `tick_kernel` in kernel_py.py
+ * (which is also what Numba @njit-compiles); keep the two in sync.
+ * repro.routing.compiled builds it at first use with the system C
+ * compiler (`cc -O2 -shared -fPIC`), caches the shared object on disk
+ * keyed by a hash of this source, and calls it through ctypes -- no
+ * Python.h, no build-time dependency beyond a C toolchain.
+ *
+ * All arrays are int64 and caller-allocated; see kernel_py.py for the
+ * layout (flat itineraries, flattened dist/next_eid matrices, intrusive
+ * linked-list queues threaded through qnext with per-edge heads qhead).
+ * Results land in out[5] = {status, total_time, max_queue,
+ * ticks_skipped, undelivered_left}; status 1 means the tick budget was
+ * exceeded with packets still undelivered.
+ */
+
+#include <stdint.h>
+
+#define STATUS_OK 0
+#define STATUS_OVERRUN 1
+
+void route_kernel(
+    const int64_t *leg_flat,
+    const int64_t *leg_ptr,
+    const int64_t *fin,
+    int64_t *stage,
+    const int64_t *dist,
+    const int64_t *next_eid,
+    const int64_t *edge_dst,
+    const int64_t *indptr,
+    const int64_t *inj_pids,
+    const int64_t *inj_times,
+    int64_t num_inj,
+    int64_t *pkey,
+    int64_t *qnext,
+    int64_t *qhead,
+    int64_t *qlen,
+    int64_t *mpid,
+    int64_t *meid,
+    int64_t *selbuf,
+    int64_t *delivered,
+    int64_t *traffic,
+    int64_t n,
+    int64_t num_edges,
+    int64_t max_ticks,
+    int64_t fifo,
+    int64_t port_limit,
+    int64_t undelivered,
+    int64_t *out)
+{
+    const int64_t prio_base = n << 32;
+    int64_t seq = 0;
+    int64_t iptr = 0;
+    int64_t tick = 0;
+    int64_t waiting = 0;
+    int64_t max_queue = 0;
+    int64_t skipped = 0;
+
+    /* Release-0 packets enqueue before the clock starts. */
+    while (iptr < num_inj && inj_times[iptr] == 0) {
+        int64_t pid = inj_pids[iptr];
+        int64_t u = leg_flat[leg_ptr[pid]];
+        int64_t target = leg_flat[leg_ptr[pid] + stage[pid]];
+        int64_t eid = next_eid[u * n + target];
+        if (fifo != 0)
+            pkey[pid] = seq;
+        else
+            pkey[pid] = (prio_base - (dist[u * n + fin[pid]] << 32)) | seq;
+        seq += 1;
+        qnext[pid] = qhead[eid];
+        qhead[eid] = pid;
+        qlen[eid] += 1;
+        waiting += 1;
+        if (qlen[eid] > max_queue)
+            max_queue = qlen[eid];
+        iptr += 1;
+    }
+
+    while (undelivered > 0) {
+        if (waiting == 0) {
+            /* Everything in flight awaits injection: jump the clock to
+             * the next release tick (or just past the budget). */
+            int64_t jump = inj_times[iptr];
+            if (jump > max_ticks)
+                jump = max_ticks + 1;
+            if (jump > tick + 1) {
+                skipped += jump - tick - 1;
+                tick = jump - 1;
+            }
+        }
+        tick += 1;
+        while (iptr < num_inj && inj_times[iptr] == tick) {
+            int64_t pid = inj_pids[iptr];
+            int64_t u = leg_flat[leg_ptr[pid]];
+            int64_t target = leg_flat[leg_ptr[pid] + stage[pid]];
+            int64_t eid = next_eid[u * n + target];
+            if (fifo != 0)
+                pkey[pid] = seq;
+            else
+                pkey[pid] = (prio_base - (dist[u * n + fin[pid]] << 32)) | seq;
+            seq += 1;
+            qnext[pid] = qhead[eid];
+            qhead[eid] = pid;
+            qlen[eid] += 1;
+            waiting += 1;
+            if (qlen[eid] > max_queue)
+                max_queue = qlen[eid];
+            iptr += 1;
+        }
+        if (tick > max_ticks) {
+            out[0] = STATUS_OVERRUN;
+            out[1] = tick;
+            out[2] = max_queue;
+            out[3] = skipped;
+            out[4] = undelivered;
+            return;
+        }
+
+        /* -- winner selection, ascending edge id == ascending (u, v) -- */
+        int64_t nmoves = 0;
+        if (port_limit <= 0) {
+            for (int64_t eid = 0; eid < num_edges; eid++) {
+                if (qlen[eid] == 0)
+                    continue;
+                /* Pop the queue's minimum arbitration key. */
+                int64_t best = qhead[eid];
+                int64_t bestprev = -1;
+                int64_t prev = best;
+                int64_t cur = qnext[best];
+                while (cur != -1) {
+                    if (pkey[cur] < pkey[best]) {
+                        best = cur;
+                        bestprev = prev;
+                    }
+                    prev = cur;
+                    cur = qnext[cur];
+                }
+                if (bestprev == -1)
+                    qhead[eid] = qnext[best];
+                else
+                    qnext[bestprev] = qnext[best];
+                qnext[best] = -1;
+                qlen[eid] -= 1;
+                waiting -= 1;
+                mpid[nmoves] = best;
+                meid[nmoves] = eid;
+                nmoves += 1;
+            }
+        } else {
+            /* Weak machine: each node serves its port_limit busiest
+             * out-links (ties by edge id).  A node's out-edges are a
+             * contiguous edge-id block, so scan nodes in order and pick
+             * within the block. */
+            for (int64_t u = 0; u < n; u++) {
+                int64_t lo = indptr[u];
+                int64_t hi = indptr[u + 1];
+                int64_t npick = 0;
+                while (npick < port_limit) {
+                    int64_t best_eid = -1;
+                    int64_t best_len = 0;
+                    for (int64_t eid = lo; eid < hi; eid++) {
+                        if (qlen[eid] <= best_len)
+                            continue;
+                        int taken = 0;
+                        for (int64_t j = 0; j < npick; j++) {
+                            if (selbuf[j] == eid) {
+                                taken = 1;
+                                break;
+                            }
+                        }
+                        if (!taken) {
+                            best_eid = eid;
+                            best_len = qlen[eid];
+                        }
+                    }
+                    if (best_eid == -1)
+                        break;
+                    selbuf[npick] = best_eid;
+                    npick += 1;
+                }
+                /* Emit this node's picks in ascending edge-id order. */
+                for (int64_t eid = lo; eid < hi; eid++) {
+                    int picked = 0;
+                    for (int64_t j = 0; j < npick; j++) {
+                        if (selbuf[j] == eid) {
+                            picked = 1;
+                            break;
+                        }
+                    }
+                    if (!picked)
+                        continue;
+                    int64_t best = qhead[eid];
+                    int64_t bestprev = -1;
+                    int64_t prev = best;
+                    int64_t cur = qnext[best];
+                    while (cur != -1) {
+                        if (pkey[cur] < pkey[best]) {
+                            best = cur;
+                            bestprev = prev;
+                        }
+                        prev = cur;
+                        cur = qnext[cur];
+                    }
+                    if (bestprev == -1)
+                        qhead[eid] = qnext[best];
+                    else
+                        qnext[bestprev] = qnext[best];
+                    qnext[best] = -1;
+                    qlen[eid] -= 1;
+                    waiting -= 1;
+                    mpid[nmoves] = best;
+                    meid[nmoves] = eid;
+                    nmoves += 1;
+                }
+            }
+        }
+
+        /* -- arrivals, in the same ascending edge-id order ------------ */
+        for (int64_t i = 0; i < nmoves; i++) {
+            int64_t eid = meid[i];
+            int64_t pid = mpid[i];
+            traffic[eid] += 1;
+            int64_t v = edge_dst[eid];
+            int64_t lp = leg_ptr[pid];
+            int64_t last = leg_ptr[pid + 1] - 1 - lp;
+            if (v == fin[pid] && stage[pid] == last) {
+                delivered[pid] = tick;
+                undelivered -= 1;
+                continue;
+            }
+            if (v == leg_flat[lp + stage[pid]] && stage[pid] < last)
+                stage[pid] += 1;
+            if (v == fin[pid] && stage[pid] == last) {
+                delivered[pid] = tick;
+                undelivered -= 1;
+                continue;
+            }
+            int64_t target = leg_flat[lp + stage[pid]];
+            int64_t eid2 = next_eid[v * n + target];
+            if (fifo != 0)
+                pkey[pid] = seq;
+            else
+                pkey[pid] = (prio_base - (dist[v * n + fin[pid]] << 32)) | seq;
+            seq += 1;
+            qnext[pid] = qhead[eid2];
+            qhead[eid2] = pid;
+            qlen[eid2] += 1;
+            waiting += 1;
+            if (qlen[eid2] > max_queue)
+                max_queue = qlen[eid2];
+        }
+    }
+
+    out[0] = STATUS_OK;
+    out[1] = tick;
+    out[2] = max_queue;
+    out[3] = skipped;
+    out[4] = 0;
+}

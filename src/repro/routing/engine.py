@@ -41,7 +41,61 @@ from repro.obs import trace as obs
 from repro.routing.tables import NextHopTables
 from repro.topologies.base import Machine
 
-__all__ = ["route_fast", "route_many"]
+__all__ = ["flatten_legs", "group_releases", "route_fast", "route_many"]
+
+
+def flatten_legs(
+    legs: list[list[int]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The shared flat itinerary layout every kernel consumes.
+
+    Returns ``(leg_flat, leg_ptr, leg_len, fin)``: the concatenated
+    waypoint stream, the packet offsets into it, per-packet waypoint
+    counts, and each packet's final destination.  ``route_fast``, the
+    event engine, and the compiled kernels all index packet state
+    through this one layout, so itinerary semantics cannot drift
+    between them.
+    """
+    npkts = len(legs)
+    # Uniform-length itineraries (every shortest-path batch) take the
+    # 2-D array fast path; ragged ones fall back to the generator scan.
+    try:
+        as2d = np.asarray(legs, dtype=np.int64)
+    except ValueError:
+        as2d = None
+    if as2d is not None and as2d.ndim == 2:
+        width = as2d.shape[1]
+        leg_flat = as2d.ravel()
+        leg_len = np.full(npkts, width, dtype=np.int64)
+        leg_ptr = np.arange(npkts + 1, dtype=np.int64) * width
+        return leg_flat, leg_ptr, leg_len, as2d[:, -1].copy()
+    leg_len = np.fromiter((len(leg) for leg in legs), dtype=np.int64, count=npkts)
+    leg_ptr = np.zeros(npkts + 1, dtype=np.int64)
+    np.cumsum(leg_len, out=leg_ptr[1:])
+    leg_flat = np.fromiter(
+        (x for leg in legs for x in leg), dtype=np.int64, count=int(leg_ptr[-1])
+    )
+    fin = leg_flat[leg_ptr[1:] - 1]
+    return leg_flat, leg_ptr, leg_len, fin
+
+
+def group_releases(
+    travelling: np.ndarray, release: np.ndarray
+) -> dict[int, np.ndarray]:
+    """Group not-yet-released packets by release tick, pids ascending.
+
+    The per-tick chunks replay the reference engine's injection order:
+    within one tick, packets enter ascending by packet id.
+    """
+    later = travelling[release[travelling] > 0]
+    pending: dict[int, np.ndarray] = {}
+    if len(later):
+        order = np.lexsort((later, release[later]))
+        later = later[order]
+        times, starts = np.unique(release[later], return_index=True)
+        for t, chunk in zip(times, np.split(later, starts[1:])):
+            pending[int(t)] = chunk
+    return pending
 
 
 def route_fast(
@@ -66,14 +120,8 @@ def route_fast(
     n = machine.num_nodes
     prio_base = np.int64(n) << 32  # priorities fit: distances < n < 2^31
 
-    # Flattened itineraries.
-    leg_len = np.fromiter((len(leg) for leg in legs), dtype=np.int64, count=npkts)
-    leg_ptr = np.zeros(npkts + 1, dtype=np.int64)
-    np.cumsum(leg_len, out=leg_ptr[1:])
-    leg_flat = np.fromiter(
-        (x for leg in legs for x in leg), dtype=np.int64, count=int(leg_ptr[-1])
-    )
-    fin = leg_flat[leg_ptr[1:] - 1]
+    # Flattened itineraries (the shared layout; see flatten_legs).
+    leg_flat, leg_ptr, leg_len, fin = flatten_legs(legs)
 
     stage = np.ones(npkts, dtype=np.int64)
     delivered = np.full(npkts, -1, dtype=np.int64)
@@ -112,14 +160,7 @@ def route_fast(
     now = travelling[release[travelling] == 0]
     if len(now):
         enqueue(now, leg_flat[leg_ptr[now]])
-    later = travelling[release[travelling] > 0]
-    pending: dict[int, np.ndarray] = {}
-    if len(later):
-        order = np.lexsort((later, release[later]))
-        later = later[order]
-        times, starts = np.unique(release[later], return_index=True)
-        for t, chunk in zip(times, np.split(later, starts[1:])):
-            pending[int(t)] = chunk
+    pending = group_releases(travelling, release)
 
     tracer = obs.get_tracer()  # hoisted: the loop body must stay lean
     tick = 0
@@ -268,32 +309,10 @@ def route_many(
     run_max_ticks = np.fromiter((r[2] for r in runs), dtype=np.int64, count=K)
 
     # Flattened itineraries, run-major: packet ids ascend with run id.
-    # Uniform-length itineraries (every shortest-path batch) take the 2-D
-    # array fast path; ragged ones fall back to the generator scan.
     all_legs = [leg for r in runs for leg in r[0]]
     if npkts == 0:
         return [(0, np.zeros(0, dtype=np.int64), {}, 0)] * K
-    try:
-        as2d = np.asarray(all_legs, dtype=np.int64)
-    except ValueError:  # ragged itineraries
-        as2d = None
-    if as2d is not None and as2d.ndim == 2:
-        width = as2d.shape[1]
-        leg_flat = as2d.ravel()
-        leg_len = np.full(npkts, width, dtype=np.int64)
-        leg_ptr = np.arange(npkts + 1, dtype=np.int64) * width
-    else:
-        leg_len = np.fromiter(
-            (len(leg) for leg in all_legs), dtype=np.int64, count=npkts
-        )
-        leg_ptr = np.zeros(npkts + 1, dtype=np.int64)
-        np.cumsum(leg_len, out=leg_ptr[1:])
-        leg_flat = np.fromiter(
-            (x for leg in all_legs for x in leg),
-            dtype=np.int64,
-            count=int(leg_ptr[-1]),
-        )
-    fin = leg_flat[leg_ptr[1:] - 1]
+    leg_flat, leg_ptr, leg_len, fin = flatten_legs(all_legs)
     release = np.concatenate(
         [np.asarray(r[1], dtype=np.int64) for r in runs if len(r[0])]
     )
@@ -421,14 +440,7 @@ def route_many(
     now = travelling[release[travelling] == 0]
     if len(now):
         enqueue(now, leg_flat[leg_ptr[now]])
-    later = travelling[release[travelling] > 0]
-    pending: dict[int, np.ndarray] = {}
-    if len(later):
-        o = np.lexsort((later, release[later]))
-        later = later[o]
-        times, tstarts = np.unique(release[later], return_index=True)
-        for t, chunk in zip(times, np.split(later, tstarts[1:])):
-            pending[int(t)] = chunk
+    pending = group_releases(travelling, release)
 
     tracer = obs.get_tracer()  # hoisted: the loop body must stay lean
     budget_floor = int(run_max_ticks.min())

@@ -1,0 +1,260 @@
+"""The event-driven routing engine (``engine="event"``).
+
+Bit-identical to the reference tick loop, but its cost scales with
+*events* (packet hops) instead of *ticks*.  The dense tick loops pay a
+fixed per-tick overhead -- the reference scans every queue, the
+vectorized engine dispatches a few dozen NumPy kernels -- even when the
+network is almost empty, which is exactly the regime low-injection
+saturation sweeps live in.  This engine keeps only the occupied queues
+and fast-forwards the clock through two kinds of dead time:
+
+* **empty ticks** -- nothing is queued, everything in flight is waiting
+  to be injected: the clock jumps straight to the next release tick;
+* **lone-packet stretches** -- exactly one packet is in the network and
+  no injection interrupts it: its remaining path is deterministic (one
+  hop per tick, no arbitration), so the engine walks the next-hop
+  tables and advances the clock by the whole stretch at once, charging
+  traffic along the way and replaying the enqueue-sequence increments
+  the reference engine would have made.
+
+Both shortcuts preserve every observable -- delivery ticks, per-link
+traffic, max queue depth, the global enqueue sequence that breaks
+priority ties -- so the equivalence suites hold exactly.  The number of
+ticks the clock crossed without simulating is returned as
+``ticks_skipped`` and surfaced as the ``route.ticks_skipped`` counter.
+
+Per-queue state mirrors the reference engine (deque for FIFO, heap of
+``(-remaining, seq, pid)`` for farthest-first) but is keyed by directed
+edge id, and the per-tick scan touches only occupied queues in
+ascending edge-id order -- the shared determinism contract (see
+docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.obs import trace as obs
+from repro.routing.engine import flatten_legs
+from repro.routing.tables import NextHopTables
+from repro.topologies.base import Machine
+
+__all__ = ["route_event"]
+
+
+def route_event(
+    machine: Machine,
+    tables: NextHopTables,
+    legs: list[list[int]],
+    release_times: list[int],
+    max_ticks: int,
+    policy: str,
+    validate: bool = False,
+) -> tuple[int, np.ndarray, dict[tuple[int, int], int], int, int]:
+    """Route collapsed itineraries event-wise.
+
+    Returns ``(total_time, delivery_times, edge_traffic, max_queue,
+    ticks_skipped)``; the first four are exactly what the reference
+    engine produces for the same inputs.
+    """
+    npkts = len(legs)
+    csr = machine.csr_adjacency()
+    dense = tables.ensure_dense()
+    dist, next_eid = dense.dist, dense.next_eid
+    edge_src = csr.edge_src
+    edge_dst = csr.edge_dst
+    port_limit = machine.port_limit
+    fifo = policy == "fifo"
+
+    leg_flat, leg_ptr, leg_len, fin = flatten_legs(legs)
+
+    stage = [1] * npkts
+    delivered = np.full(npkts, -1, dtype=np.int64)
+    # queues[eid] -> deque of pids (fifo) or heap of (-rem, seq, pid);
+    # the dict only ever holds non-empty queues.
+    queues: dict[int, deque | list] = {}
+    traffic: dict[int, int] = {}
+    seq = 0
+    max_queue = 0
+    waiting = 0
+    skipped = 0
+
+    def enqueue(u: int, pid: int) -> None:
+        nonlocal seq, max_queue, waiting
+        it = legs[pid]
+        target = it[stage[pid]]
+        eid = int(next_eid[u, target])
+        q = queues.get(eid)
+        if q is None:
+            q = deque() if fifo else []
+            queues[eid] = q
+        if fifo:
+            q.append(pid)
+        else:
+            rem = int(dist[u, it[-1]])
+            heapq.heappush(q, (-rem, seq, pid))
+            seq += 1
+        waiting += 1
+        if len(q) > max_queue:
+            max_queue = len(q)
+
+    # Injection bookkeeping, exactly as in the reference engine:
+    # self-messages deliver instantly, release-0 packets enqueue before
+    # the clock starts, the rest wait sorted by (release, pid).
+    release = np.asarray(release_times, dtype=np.int64)
+    is_self = (leg_len == 2) & (leg_flat[leg_ptr[:-1]] == fin)
+    delivered[is_self] = release[is_self]
+    travelling = np.nonzero(~is_self)[0]
+    undelivered = len(travelling)
+    later = travelling[release[travelling] > 0]
+    order = np.lexsort((later, release[later]))
+    inj_pids = later[order].tolist()
+    inj_times = release[later][order].tolist()
+    num_inj = len(inj_pids)
+    iptr = 0
+    for pid in travelling[release[travelling] == 0].tolist():
+        enqueue(legs[pid][0], pid)
+
+    tracer = obs.get_tracer()  # hoisted: the loop body must stay lean
+    tick = 0
+    while undelivered > 0:
+        if waiting == 0:
+            # Everything in flight awaits injection: jump the clock to
+            # the next release (or just past the budget, to raise
+            # exactly where the dense engines would).
+            nxt = inj_times[iptr]
+            jump = nxt if nxt <= max_ticks else max_ticks + 1
+            if jump > tick + 1:
+                skipped += jump - tick - 1
+                tick = jump - 1
+        elif waiting == 1 and len(queues) == 1:
+            # Lone packet: its path is contention-free until the next
+            # injection, so fast-forward whole hops at once.
+            nxt = inj_times[iptr] if iptr < num_inj else max_ticks + 1
+            budget = min(nxt - 1, max_ticks) - tick
+            if budget > 0:
+                eid, q = next(iter(queues.items()))
+                pid = q[0] if fifo else q[0][2]
+                it = legs[pid]
+                last = len(it) - 1
+                done = False
+                entry = None
+                steps = 0
+                while steps < budget:
+                    steps += 1
+                    traffic[eid] = traffic.get(eid, 0) + 1
+                    v = int(edge_dst[eid])
+                    if v == it[last] and stage[pid] == last:
+                        done = True
+                        break
+                    if v == it[stage[pid]] and stage[pid] < last:
+                        stage[pid] += 1
+                    if v == it[last] and stage[pid] == last:
+                        done = True
+                        break
+                    # Virtual re-enqueue: same seq consumption and
+                    # arbitration key the reference would record.
+                    eid = int(next_eid[v, it[stage[pid]]])
+                    if not fifo:
+                        rem = int(dist[v, it[last]])
+                        entry = (-rem, seq, pid)
+                        seq += 1
+                del queues[next(iter(queues))]
+                tick += steps
+                skipped += steps
+                if done:
+                    delivered[pid] = tick
+                    undelivered -= 1
+                    waiting = 0
+                    continue
+                queues[eid] = deque([pid]) if fifo else [entry]
+                continue
+
+        tick += 1
+        if tracer is not None and tick % 1024 == 0:
+            tracer.event(
+                "route.progress",
+                engine="event",
+                tick=tick,
+                undelivered=undelivered,
+                max_queue=max_queue,
+            )
+        while iptr < num_inj and inj_times[iptr] == tick:
+            pid = inj_pids[iptr]
+            enqueue(legs[pid][0], pid)
+            iptr += 1
+        if tick > max_ticks:
+            raise RuntimeError(
+                f"routing did not finish in {max_ticks} ticks "
+                f"({undelivered} packets left)"
+            )
+
+        # Winners, in ascending edge-id order == ascending (u, v): the
+        # dict holds only occupied queues, so the scan is O(occupied).
+        if port_limit is None:
+            chosen = sorted(queues)
+        else:
+            # Weak machine: each node serves its port_limit busiest
+            # links, ties by edge id.
+            per_node: dict[int, list[tuple[int, int]]] = {}
+            for eid, q in queues.items():
+                per_node.setdefault(int(edge_src[eid]), []).append(
+                    (len(q), eid)
+                )
+            chosen = []
+            for u in per_node:
+                qs = per_node[u]
+                qs.sort(key=lambda t: (-t[0], t[1]))
+                chosen.extend(eid for _, eid in qs[:port_limit])
+            chosen.sort()
+
+        moves: list[tuple[int, int]] = []  # (pid, eid)
+        for eid in chosen:
+            q = queues[eid]
+            pid = q.popleft() if fifo else heapq.heappop(q)[2]
+            if not q:
+                del queues[eid]
+            waiting -= 1
+            moves.append((pid, eid))
+
+        if validate:
+            if len({eid for _, eid in moves}) != len(moves):
+                raise AssertionError(
+                    f"tick {tick}: a directed link moved two packets"
+                )
+            if port_limit is not None and moves:
+                sends: dict[int, int] = {}
+                for _, eid in moves:
+                    u = int(edge_src[eid])
+                    sends[u] = sends.get(u, 0) + 1
+                worst = max(sends.values())
+                if worst > port_limit:
+                    raise AssertionError(
+                        f"tick {tick}: a weak node drove {worst} links"
+                    )
+
+        for pid, eid in moves:
+            traffic[eid] = traffic.get(eid, 0) + 1
+            v = int(edge_dst[eid])
+            it = legs[pid]
+            last = len(it) - 1
+            if v == it[last] and stage[pid] == last:
+                delivered[pid] = tick
+                undelivered -= 1
+                continue
+            if v == it[stage[pid]] and stage[pid] < last:
+                stage[pid] += 1
+            if v == it[last] and stage[pid] == last:
+                delivered[pid] = tick
+                undelivered -= 1
+                continue
+            enqueue(v, pid)
+
+    edge_traffic = {
+        (int(edge_src[e]), int(edge_dst[e])): c
+        for e, c in sorted(traffic.items())
+    }
+    return tick, delivered, edge_traffic, max_queue, skipped

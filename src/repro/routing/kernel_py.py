@@ -1,0 +1,252 @@
+"""The compiled tick-loop kernel, as Numba-compatible Python source.
+
+This module holds the *algorithm* behind ``engine="compiled"`` in a
+form three executors share:
+
+* Numba ``@njit``-compiles :func:`tick_kernel` verbatim (the function
+  body uses only scalars, flat int64 arrays, and plain loops);
+* ``routing/_kernel.c`` is a line-for-line C translation, built with
+  the system C compiler and driven through ``ctypes`` when Numba is
+  absent (see :mod:`repro.routing.compiled`);
+* the plain interpreter can run this function directly -- far too slow
+  to serve as an engine, but exactly what the equivalence tests use to
+  pin the *algorithm* (and therefore the Numba backend) to the
+  reference engine on machines where Numba is not installed.
+
+Keep the three in sync: any change here must be mirrored in
+``_kernel.c``.
+
+Data layout (all int64 unless noted): itineraries use the shared flat
+layout of :func:`repro.routing.engine.flatten_legs`; per-(node, dest)
+``dist``/``next_eid`` matrices are flattened row-major; each directed
+edge's queue is an intrusive linked list threaded through ``qnext``
+(packet id -> next packet id) with head table ``qhead`` and occupancy
+``qlen``, and the queue winner is the minimum of the packed arbitration
+key ``pkey`` -- ``(n << 32) - (remaining << 32) | seq`` for
+farthest-first, bare ``seq`` for FIFO, the same composite
+``route_fast`` sorts on.  A pop scans its queue's list (O(queue
+length)); there are no heaps because total scan work is bounded by
+(waiting packets x ticks), which the empty-tick fast-forward keeps
+proportional to real events.
+
+The kernel never calls back into Python -- no tracer hooks, no
+allocation -- so the observability no-op path is trivially preserved
+inside compiled regions (the wrapper emits the ``route.*`` spans and
+counters around the call instead).
+"""
+
+from __future__ import annotations
+
+__all__ = ["tick_kernel", "KERNEL_STATUS_OK", "KERNEL_STATUS_OVERRUN"]
+
+KERNEL_STATUS_OK = 0
+KERNEL_STATUS_OVERRUN = 1  # hit max_ticks with packets still undelivered
+
+
+def tick_kernel(
+    leg_flat,  # int64[sum leg lengths]  waypoint stream
+    leg_ptr,  # int64[npkts + 1]         packet offsets into leg_flat
+    fin,  # int64[npkts]                 final destination per packet
+    stage,  # int64[npkts]               current waypoint index (init 1)
+    dist,  # int64[n * n]                dist[u * n + d]
+    next_eid,  # int64[n * n]            next_eid[u * n + d]
+    edge_dst,  # int64[E]                arrival node per directed edge
+    indptr,  # int64[n + 1]              out-edge id range per node
+    inj_pids,  # int64[m]                travelling pids, (release, pid) asc
+    inj_times,  # int64[m]               their release ticks, same order
+    pkey,  # int64[npkts]                arbitration key while queued
+    qnext,  # int64[npkts]               intrusive queue links (init -1)
+    qhead,  # int64[E]                   queue head pid per edge (init -1)
+    qlen,  # int64[E]                    queue occupancy (init 0)
+    mpid,  # int64[E]                    scratch: this tick's movers
+    meid,  # int64[E]                    scratch: their edges
+    selbuf,  # int64[max_degree]         scratch: weak-machine picks
+    delivered,  # int64[npkts]           out: delivery tick (init -1)
+    traffic,  # int64[E]                 out: packets carried per edge
+    n,  # int
+    num_edges,  # int
+    max_ticks,  # int
+    fifo,  # int (1 = FIFO, 0 = farthest-first)
+    port_limit,  # int (0 = unlimited)
+    undelivered,  # int: travelling packet count
+):
+    """Run the whole tick loop; returns
+    ``(status, total_time, max_queue, ticks_skipped, undelivered_left)``.
+    """
+    num_inj = inj_times.shape[0]
+    prio_base = n << 32
+    seq = 0
+    iptr = 0
+    tick = 0
+    waiting = 0
+    max_queue = 0
+    skipped = 0
+
+    # Release-0 packets enqueue before the clock starts.
+    while iptr < num_inj and inj_times[iptr] == 0:
+        pid = inj_pids[iptr]
+        u = leg_flat[leg_ptr[pid]]
+        target = leg_flat[leg_ptr[pid] + stage[pid]]
+        eid = next_eid[u * n + target]
+        if fifo != 0:
+            pkey[pid] = seq
+        else:
+            pkey[pid] = (prio_base - (dist[u * n + fin[pid]] << 32)) | seq
+        seq += 1
+        qnext[pid] = qhead[eid]
+        qhead[eid] = pid
+        qlen[eid] += 1
+        waiting += 1
+        if qlen[eid] > max_queue:
+            max_queue = qlen[eid]
+        iptr += 1
+
+    while undelivered > 0:
+        if waiting == 0:
+            # Everything in flight awaits injection: jump the clock to
+            # the next release tick (or just past the budget).
+            nxt = inj_times[iptr]
+            jump = nxt
+            if jump > max_ticks:
+                jump = max_ticks + 1
+            if jump > tick + 1:
+                skipped += jump - tick - 1
+                tick = jump - 1
+        tick += 1
+        while iptr < num_inj and inj_times[iptr] == tick:
+            pid = inj_pids[iptr]
+            u = leg_flat[leg_ptr[pid]]
+            target = leg_flat[leg_ptr[pid] + stage[pid]]
+            eid = next_eid[u * n + target]
+            if fifo != 0:
+                pkey[pid] = seq
+            else:
+                pkey[pid] = (prio_base - (dist[u * n + fin[pid]] << 32)) | seq
+            seq += 1
+            qnext[pid] = qhead[eid]
+            qhead[eid] = pid
+            qlen[eid] += 1
+            waiting += 1
+            if qlen[eid] > max_queue:
+                max_queue = qlen[eid]
+            iptr += 1
+        if tick > max_ticks:
+            return (KERNEL_STATUS_OVERRUN, tick, max_queue, skipped, undelivered)
+
+        # -- winner selection, ascending edge id == ascending (u, v) ----
+        nmoves = 0
+        if port_limit <= 0:
+            for eid in range(num_edges):
+                if qlen[eid] == 0:
+                    continue
+                # Pop the queue's minimum arbitration key.
+                best = qhead[eid]
+                bestprev = -1
+                prev = best
+                cur = qnext[best]
+                while cur != -1:
+                    if pkey[cur] < pkey[best]:
+                        best = cur
+                        bestprev = prev
+                    prev = cur
+                    cur = qnext[cur]
+                if bestprev == -1:
+                    qhead[eid] = qnext[best]
+                else:
+                    qnext[bestprev] = qnext[best]
+                qnext[best] = -1
+                qlen[eid] -= 1
+                waiting -= 1
+                mpid[nmoves] = best
+                meid[nmoves] = eid
+                nmoves += 1
+        else:
+            # Weak machine: each node serves its port_limit busiest
+            # out-links (ties by edge id).  A node's out-edges are a
+            # contiguous edge-id block, so scan nodes in order and pick
+            # within the block.
+            for u in range(n):
+                lo = indptr[u]
+                hi = indptr[u + 1]
+                npick = 0
+                while npick < port_limit:
+                    best_eid = -1
+                    best_len = 0
+                    for eid in range(lo, hi):
+                        if qlen[eid] <= best_len:
+                            continue
+                        taken = False
+                        for j in range(npick):
+                            if selbuf[j] == eid:
+                                taken = True
+                                break
+                        if not taken:
+                            best_eid = eid
+                            best_len = qlen[eid]
+                    if best_eid == -1:
+                        break
+                    selbuf[npick] = best_eid
+                    npick += 1
+                # Emit this node's picks in ascending edge-id order.
+                for eid in range(lo, hi):
+                    picked = False
+                    for j in range(npick):
+                        if selbuf[j] == eid:
+                            picked = True
+                            break
+                    if not picked:
+                        continue
+                    best = qhead[eid]
+                    bestprev = -1
+                    prev = best
+                    cur = qnext[best]
+                    while cur != -1:
+                        if pkey[cur] < pkey[best]:
+                            best = cur
+                            bestprev = prev
+                        prev = cur
+                        cur = qnext[cur]
+                    if bestprev == -1:
+                        qhead[eid] = qnext[best]
+                    else:
+                        qnext[bestprev] = qnext[best]
+                    qnext[best] = -1
+                    qlen[eid] -= 1
+                    waiting -= 1
+                    mpid[nmoves] = best
+                    meid[nmoves] = eid
+                    nmoves += 1
+
+        # -- arrivals, in the same ascending edge-id order --------------
+        for i in range(nmoves):
+            eid = meid[i]
+            pid = mpid[i]
+            traffic[eid] += 1
+            v = edge_dst[eid]
+            lp = leg_ptr[pid]
+            last = leg_ptr[pid + 1] - 1 - lp  # index of fin within the leg
+            if v == fin[pid] and stage[pid] == last:
+                delivered[pid] = tick
+                undelivered -= 1
+                continue
+            if v == leg_flat[lp + stage[pid]] and stage[pid] < last:
+                stage[pid] += 1
+            if v == fin[pid] and stage[pid] == last:
+                delivered[pid] = tick
+                undelivered -= 1
+                continue
+            target = leg_flat[lp + stage[pid]]
+            eid2 = next_eid[v * n + target]
+            if fifo != 0:
+                pkey[pid] = seq
+            else:
+                pkey[pid] = (prio_base - (dist[v * n + fin[pid]] << 32)) | seq
+            seq += 1
+            qnext[pid] = qhead[eid2]
+            qhead[eid2] = pid
+            qlen[eid2] += 1
+            waiting += 1
+            if qlen[eid2] > max_queue:
+                max_queue = qlen[eid2]
+
+    return (KERNEL_STATUS_OK, tick, max_queue, skipped, 0)

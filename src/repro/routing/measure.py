@@ -67,7 +67,9 @@ def measure_bandwidth(
     and a batch of ``8 * n`` messages, which is deep enough to saturate
     the bottleneck links of every family in the registry while staying
     laptop-fast.  ``engine`` selects the simulator implementation
-    (``"fast"`` or ``"reference"``; both give identical results).
+    (any of ``"fast"``, ``"reference"``, ``"event"``, ``"compiled"``,
+    ``"auto"``; all give identical results -- see docs/PERFORMANCE.md
+    for when each wins).
     """
     rng = rng_from_seed(seed)
     traffic, num_messages = _validated(machine, traffic, num_messages, strategy)

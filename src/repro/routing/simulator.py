@@ -15,17 +15,30 @@ Packets carry an itinerary of waypoints (one for shortest-path routing,
 two for Valiant routing); between waypoints they follow the
 :class:`~repro.routing.tables.NextHopTables`.
 
-Two engines implement the model and produce identical results
+Four engines implement the model and produce identical results
 (delivery times, edge traffic, max queue) for the same inputs:
 
 * ``engine="reference"`` -- the pure-Python tick loop below, kept as the
   executable specification;
 * ``engine="fast"`` (the default) -- the vectorized array engine in
-  :mod:`repro.routing.engine`, ~10-100x faster on large batches.
+  :mod:`repro.routing.engine`, ~10-100x faster on large batches;
+* ``engine="event"`` -- the event-driven scheduler in
+  :mod:`repro.routing.event`, which skips idle ticks outright and wins
+  on low-injection (idle-dominated) workloads;
+* ``engine="compiled"`` -- the native kernel in
+  :mod:`repro.routing.compiled` (Numba or a ctypes-built C shared
+  object); raises :class:`~repro.routing.compiled.EngineUnavailableError`
+  at construction when no provider works.
 
-Both scan occupied links in ascending ``(u, v)`` order each tick; that
-canonical order (not accidental dict order) is part of the spec, since
-it fixes FIFO insertion sequences and priority ties downstream.
+``engine="auto"`` picks one per call from estimated occupancy: event
+below ~8 queued packets per tick, otherwise compiled when a provider is
+ready, otherwise fast.  It never raises on a missing toolchain -- that
+is the graceful-fallback path.
+
+All engines scan occupied links in ascending ``(u, v)`` order each
+tick; that canonical order (not accidental dict order) is part of the
+spec, since it fixes FIFO insertion sequences and priority ties
+downstream (see docs/PERFORMANCE.md for the engine-selection matrix).
 """
 
 from __future__ import annotations
@@ -37,14 +50,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import trace as obs
+from repro.routing import compiled as compiled_backend
 from repro.routing.engine import route_fast, route_many
+from repro.routing.event import route_event
 from repro.routing.tables import NextHopTables
 from repro.topologies.base import Machine
 
 __all__ = ["RoutingResult", "RoutingSimulator"]
 
 _POLICIES = ("fifo", "farthest")
-_ENGINES = ("fast", "reference")
+_ENGINES = ("fast", "reference", "event", "compiled", "auto")
+
+#: ``auto`` switches from the event engine to a dense/compiled tick loop
+#: once the estimated queued-packets-per-tick crosses this.
+_AUTO_OCCUPANCY_CUTOFF = 8.0
+#: ``auto`` only probes the compiled toolchain (a possible one-off JIT or
+#: cc build) for workloads of at least this many hops; smaller ones use
+#: whatever the probe already found, or the fast engine.
+_AUTO_COMPILE_FLOOR = 32768
 
 
 @dataclass
@@ -95,6 +118,10 @@ class RoutingSimulator:
             raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if engine == "compiled":
+            # Fail fast with the probe's reason; ``auto`` is the
+            # never-raises fallback route.
+            compiled_backend.require_provider()
         self.machine = machine
         self.policy = policy
         self.engine = engine
@@ -131,10 +158,12 @@ class RoutingSimulator:
             itineraries, release_times, max_ticks
         )
 
+        resolved = self._resolve_engine(legs, release_times)
         with obs.span(
-            f"route.{self.engine}", policy=self.policy, packets=npkts
+            f"route.{resolved}", policy=self.policy, packets=npkts
         ) as sp:
-            if self.engine == "fast":
+            skipped = None
+            if resolved == "fast":
                 total_time, delivered, edge_traffic, max_queue = route_fast(
                     self.machine,
                     self.tables,
@@ -144,20 +173,81 @@ class RoutingSimulator:
                     self.policy,
                     validate=self.validate,
                 )
-                result = RoutingResult(
-                    total_time=total_time,
-                    num_packets=npkts,
-                    delivery_times=delivered,
-                    edge_traffic=edge_traffic,
-                    max_queue=max_queue,
+            elif resolved == "event":
+                total_time, delivered, edge_traffic, max_queue, skipped = (
+                    route_event(
+                        self.machine,
+                        self.tables,
+                        legs,
+                        release_times,
+                        max_ticks,
+                        self.policy,
+                        validate=self.validate,
+                    )
+                )
+            elif resolved == "compiled":
+                total_time, delivered, edge_traffic, max_queue, skipped = (
+                    compiled_backend.route_compiled(
+                        self.machine,
+                        self.tables,
+                        legs,
+                        release_times,
+                        max_ticks,
+                        self.policy,
+                        validate=self.validate,
+                    )
                 )
             else:
                 result = self._route_reference(legs, release_times, max_ticks)
+                sp.set(ticks=result.total_time, max_queue=result.max_queue)
+                obs.add("route.calls")
+                obs.add("route.ticks", result.total_time)
+                obs.add("route.packets", npkts)
+                return result
+            result = RoutingResult(
+                total_time=total_time,
+                num_packets=npkts,
+                delivery_times=delivered,
+                edge_traffic=edge_traffic,
+                max_queue=max_queue,
+            )
             sp.set(ticks=result.total_time, max_queue=result.max_queue)
+            if skipped is not None:
+                sp.set(ticks_skipped=skipped)
         obs.add("route.calls")
         obs.add("route.ticks", result.total_time)
         obs.add("route.packets", npkts)
+        if skipped is not None:
+            obs.add("route.ticks_skipped", skipped)
         return result
+
+    def _resolve_engine(
+        self, legs: list[list[int]], release_times: list[int]
+    ) -> str:
+        """Pick the engine for one run (identity unless ``auto``).
+
+        The heuristic estimates *occupancy* -- queued packets per
+        simulated tick -- as total itinerary hops over the injection
+        horizon.  Idle-dominated runs (occupancy below
+        ``_AUTO_OCCUPANCY_CUTOFF``) go to the event engine, whose cost
+        scales with events, not ticks.  Busy runs use the compiled
+        kernel when a provider is ready; probing the toolchain (which
+        may JIT or invoke ``cc`` once per process) is only worth it for
+        workloads above ``_AUTO_COMPILE_FLOOR`` hops.  Everything else
+        -- and every machine without a toolchain -- falls back to the
+        fast vectorized engine, so ``auto`` never raises.
+        """
+        if self.engine != "auto":
+            return self.engine
+        hops = self.tables.itinerary_hops(legs)
+        horizon = max(release_times) + max(1, hops // max(1, len(legs)))
+        occupancy = hops / max(1, horizon)
+        if occupancy <= _AUTO_OCCUPANCY_CUTOFF:
+            return "event"
+        if hops >= _AUTO_COMPILE_FLOOR or compiled_backend.provider_probed():
+            if compiled_backend.get_provider() is not None:
+                return "compiled"
+        return "fast"
 
     def route_batch(
         self,
@@ -175,9 +265,13 @@ class RoutingSimulator:
         for the per-run hop-derived default.  On the fast engine all
         runs share one vectorized tick loop (:func:`route_many`) keyed
         by per-run virtual edge ids, so the per-tick dispatch overhead
-        amortizes across the batch; the reference engine routes the
-        runs sequentially.  Either way a run that would raise alone
-        (exceeding its own ``max_ticks``) raises here too.
+        amortizes across the batch; every other engine (reference,
+        event, compiled, auto) routes the runs sequentially through
+        :meth:`route`, which keeps the per-run results trivially
+        bit-identical (``auto`` re-resolves per run, so a sweep can mix
+        event-routed sparse points with compiled dense ones).  Either
+        way a run that would raise alone (exceeding its own
+        ``max_ticks``) raises here too.
         """
         K = len(itineraries_list)
         if release_times_list is None:
@@ -259,17 +353,36 @@ class RoutingSimulator:
         itineraries: list[list[int]],
         release_times: list[int] | None,
         max_ticks: int | None,
-    ) -> tuple[list[list[int]], list[int], int]:
+    ) -> tuple[list[list[int]] | np.ndarray, list[int], int]:
         """Validate one run's inputs and collapse its itineraries.
 
         This is the shared front half of :meth:`route` and
         :meth:`route_batch`: same checks, same leg collapsing, same
         hop-derived default tick budget, so the two paths cannot drift.
+
+        Rectangular batches (every itinerary the same width, the common
+        src/dest and Valiant shapes) collapse as one array instead of a
+        per-itinerary Python loop: a width-2 itinerary is
+        collapse-invariant (``[s, s]`` collapses to ``[s]`` and pads
+        straight back), and a wider one passes through whenever no
+        consecutive waypoints repeat.  The engines' flatten fast path
+        then consumes the array without another conversion.
         """
-        for it in itineraries:
-            if len(it) < 2:
-                raise ValueError(f"itinerary needs src and dest, got {it}")
         npkts = len(itineraries)
+        legs = None
+        try:
+            arr = np.asarray(itineraries, dtype=np.int64)
+        except (ValueError, TypeError):
+            arr = None  # ragged or non-numeric: take the generic path
+        if arr is not None and arr.ndim == 2 and arr.shape[1] >= 2:
+            if arr.shape[1] == 2 or bool((arr[:, 1:] != arr[:, :-1]).all()):
+                legs = arr
+        if legs is None:
+            for it in itineraries:
+                if len(it) < 2:
+                    raise ValueError(
+                        f"itinerary needs src and dest, got {it}"
+                    )
 
         if release_times is None:
             release_times = [0] * npkts
@@ -286,17 +399,18 @@ class RoutingSimulator:
         # duplicate waypoints are collapsed so waypoint advancement in
         # enqueue() is single-step (a repeated waypoint could otherwise
         # slip past the delivery check).
-        legs = []
-        for it in itineraries:
-            collapsed = [it[0]]
-            for x in it[1:]:
-                if x != collapsed[-1]:
-                    collapsed.append(x)
-            if len(collapsed) == 1:
-                collapsed.append(collapsed[0])
-            legs.append(collapsed)
+        if legs is None:
+            legs = []
+            for it in itineraries:
+                collapsed = [it[0]]
+                for x in it[1:]:
+                    if x != collapsed[-1]:
+                        collapsed.append(x)
+                if len(collapsed) == 1:
+                    collapsed.append(collapsed[0])
+                legs.append(collapsed)
 
-        if self.engine == "fast":
+        if self.engine != "reference":
             self.tables.ensure_dense()  # itinerary_hops must not fall back
         if max_ticks is None:
             # While any packet is waiting, at least one hop completes per

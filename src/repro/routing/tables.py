@@ -238,7 +238,10 @@ class NextHopTables:
 
     def itinerary_hops(self, legs: list[list[int]]) -> int:
         """Total shortest-path hop count over all itinerary legs."""
-        if self._dense is not None and legs:
+        if self._dense is not None and len(legs):
+            if isinstance(legs, np.ndarray) and legs.ndim == 2:
+                # Rectangular batch: every consecutive pair is a leg.
+                return int(self._dense.dist[legs[:, :-1], legs[:, 1:]].sum())
             flat = np.concatenate([np.asarray(leg, dtype=np.int64) for leg in legs])
             lens = np.fromiter((len(leg) for leg in legs), dtype=np.int64)
             ends = np.cumsum(lens) - 1

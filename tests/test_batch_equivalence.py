@@ -28,10 +28,16 @@ from repro.routing import (
     measure_bandwidth,
     measure_bandwidth_many,
 )
+from repro.routing import compiled as compiled_backend
 from repro.topologies import Machine, family_spec
 
 SMOKE_FAMILIES = ("mesh_2", "de_bruijn")
 SMOKE_POLICIES = ("fifo", "farthest")
+#: Engines whose route_batch must match their own solo route() -- and,
+#: transitively through the engine-equivalence suite, each other's.
+BATCH_ENGINES = ["event", "auto"] + (
+    ["compiled"] if compiled_backend.capability()["available"] else []
+)
 
 
 def _assert_runs_equal(batch, solo, context=""):
@@ -149,6 +155,40 @@ class TestBatchEquivalenceExplicit:
         machine = family_spec("mesh_2").build_with_size(16)
         runs = [([[0, 5], [3, 9]], [0, 1]), ([[2, 14]], [0])]
         _route_both_ways(machine, "fifo", runs, engine="reference")
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    @pytest.mark.parametrize("policy", SMOKE_POLICIES)
+    def test_new_engines_batch_matches_solo(self, engine, policy):
+        """route_batch composes with the event/compiled/auto engines."""
+        machine = family_spec("de_bruijn").build_with_size(16)
+        rng = np.random.default_rng(13)
+        n = machine.num_nodes
+        runs = []
+        for m in (5, 2 * n, n):
+            src = rng.integers(0, n, size=m)
+            dst = rng.integers(0, n, size=m)
+            its = [[int(s), int(d)] for s, d in zip(src, dst)]
+            rel = [int(t) for t in rng.choice([0, 0, 1, 3, 40], size=m)]
+            runs.append((its, rel))
+        _route_both_ways(machine, policy, runs, engine=engine)
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_new_engines_batch_matches_fast_batch(self, engine):
+        """The batched results themselves are engine-independent."""
+        machine = family_spec("mesh_2").build_with_size(16)
+        rng = np.random.default_rng(29)
+        n = machine.num_nodes
+        runs = []
+        for m in (n, 3 * n):
+            src = rng.integers(0, n, size=m)
+            dst = rng.integers(0, n, size=m)
+            its = [[int(s), int(d)] for s, d in zip(src, dst)]
+            rel = [int(t) for t in rng.choice([0, 0, 2, 90], size=m)]
+            runs.append((its, rel))
+        args = ([its for its, _ in runs], [rel for _, rel in runs])
+        fast = RoutingSimulator(machine, engine="fast").route_batch(*args)
+        other = RoutingSimulator(machine, engine=engine).route_batch(*args)
+        _assert_runs_equal(other, fast, f"{engine} vs fast batch")
 
     def test_empty_runs_and_self_messages(self):
         machine = family_spec("mesh_2").build_with_size(16)

@@ -50,6 +50,50 @@ class TestUnknownFamilyErrors:
         assert "measured rate" in capsys.readouterr().out
 
 
+class TestEngineUnavailableErrors:
+    """``--engine compiled`` on a host without a provider must fail with
+    the same one-line ``error: ...`` shape as unknown families -- not a
+    traceback from deep inside the backend probe."""
+
+    @pytest.fixture(autouse=True)
+    def _no_provider(self, monkeypatch):
+        from repro.routing import compiled as compiled_backend
+
+        monkeypatch.setenv("REPRO_COMPILED", "off")
+        compiled_backend._reset_provider_cache()
+        yield
+        compiled_backend._reset_provider_cache()
+
+    def _assert_clean_engine_error(self, argv: list[str]) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        message = str(excinfo.value)
+        assert message.startswith(
+            "error: compiled routing engine unavailable"
+        )
+        assert "fall back" in message  # points at engine=auto/fast
+        assert "Traceback" not in message
+
+    def test_bandwidth(self):
+        self._assert_clean_engine_error(
+            ["bandwidth", "linear_array", "--size", "16",
+             "--engine", "compiled"]
+        )
+
+    def test_saturation(self):
+        self._assert_clean_engine_error(
+            ["saturation", "ring", "--size", "8", "--engine", "compiled"]
+        )
+
+    def test_auto_engine_still_works(self, capsys):
+        """auto degrades gracefully instead of erroring."""
+        assert main(
+            ["bandwidth", "linear_array", "--size", "16",
+             "--engine", "auto"]
+        ) == 0
+        assert "measured rate" in capsys.readouterr().out
+
+
 class TestJsonFlags:
     def test_families_json_matches_service_payload(self, capsys):
         assert main(["families", "--json"]) == 0

@@ -1,43 +1,101 @@
-"""Engine equivalence: the vectorized engine vs the reference spec.
+"""Engine equivalence: every routing engine vs the reference spec.
 
-The fast array engine must reproduce the reference Python engine
-*exactly* -- same delivery times, same per-link traffic counts, same max
-queue depth -- for every machine family, both arbitration policies, both
-port-limit modes, and any seed.  These tests sweep that grid at small n
-(every registry family) and probe the itinerary edge cases (waypoints,
-staggered releases, self-messages) on a few representative machines.
+The fast array engine, the event-driven scheduler, and the compiled
+kernel must reproduce the reference Python engine *exactly* -- same
+delivery times, same per-link traffic counts, same max queue depth,
+same operational bandwidth -- for every machine family, both arbitration
+policies, both port-limit modes, and any seed.  These tests sweep that
+grid at small n (every registry family), probe the itinerary edge cases
+(waypoints, staggered releases, self-messages), fuzz random
+(family, n, rate, seed) open-loop cells with Hypothesis, and pin the
+idle-heavy regime the event engine exists for (rate=0.01, >90% of
+ticks skipped, exposed via the ``route.ticks_skipped`` counter).
+
+When no compiled provider is available (no Numba, no C toolchain, or
+``REPRO_COMPILED=off``), the compiled *algorithm* is still pinned by
+running the Numba kernel source un-jitted through the same wrapper --
+so the fallback CI leg exercises every line the native backends run.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
+from tests.hypothesis_profiles import SLOW
+
+from repro.obs import trace as obs
 from repro.routing import (
+    EngineUnavailableError,
     RoutingSimulator,
     dimension_order_route,
     valiant_route,
 )
+from repro.routing import compiled as compiled_backend
+from repro.routing import kernel_py
+from repro.routing.compiled import route_compiled
 from repro.topologies import all_family_keys, build_mesh, build_ring, family_spec
 from repro.traffic import symmetric_traffic
 
 POLICIES = ("fifo", "farthest")
 PORT_LIMITS = (None, 1)
+COMPILED_AVAILABLE = compiled_backend.capability()["available"]
+#: Every engine the grid sweeps against the reference.  ``auto`` rides
+#: along so its per-run resolution is proven harmless everywhere.
+ENGINES = ("fast", "event", "auto") + (
+    ("compiled",) if COMPILED_AVAILABLE else ()
+)
+
+
+def _assert_same(ref, got, tag):
+    assert ref.total_time == got.total_time, tag
+    assert np.array_equal(ref.delivery_times, got.delivery_times), tag
+    assert ref.edge_traffic == got.edge_traffic, tag
+    assert ref.max_queue == got.max_queue, tag
+    assert ref.delivery_rate == got.delivery_rate, tag  # operational beta
 
 
 def assert_engines_agree(machine, itineraries, release_times=None, policy="farthest"):
-    """Route the same batch on both engines and compare all observables."""
+    """Route the same batch on every engine and compare all observables."""
     ref = RoutingSimulator(
         machine, policy=policy, engine="reference", validate=True
     ).route(itineraries, release_times=release_times)
-    fast = RoutingSimulator(
-        machine, policy=policy, engine="fast", validate=True
-    ).route(itineraries, release_times=release_times)
-    assert ref.total_time == fast.total_time
-    assert np.array_equal(ref.delivery_times, fast.delivery_times)
-    assert ref.edge_traffic == fast.edge_traffic
-    assert ref.max_queue == fast.max_queue
+    for engine in ENGINES:
+        got = RoutingSimulator(
+            machine, policy=policy, engine=engine, validate=True
+        ).route(itineraries, release_times=release_times)
+        _assert_same(ref, got, engine)
+    if not COMPILED_AVAILABLE:
+        _assert_unjitted_kernel_matches(
+            machine, itineraries, release_times, policy, ref
+        )
     return ref
+
+
+def _assert_unjitted_kernel_matches(
+    machine, itineraries, release_times, policy, ref
+):
+    """Run the compiled kernel *algorithm* in plain Python (the exact
+    function Numba would jit) through the production wrapper."""
+    sim = RoutingSimulator(machine, policy=policy, engine="fast")
+    legs, release_times, max_ticks = sim._prepare(
+        itineraries, release_times, None
+    )
+    total, delivered, edge_traffic, max_queue, _ = route_compiled(
+        machine,
+        sim.tables,
+        legs,
+        release_times,
+        max_ticks,
+        policy,
+        runner=kernel_py.tick_kernel,
+    )
+    assert total == ref.total_time
+    assert np.array_equal(delivered, ref.delivery_times)
+    assert edge_traffic == ref.edge_traffic
+    assert max_queue == ref.max_queue
 
 
 @pytest.mark.parametrize("policy", POLICIES)
@@ -98,14 +156,155 @@ def test_invalid_engine_rejected():
         RoutingSimulator(build_ring(6), engine="warp")
 
 
-def test_derived_max_ticks_fails_fast():
+@pytest.mark.parametrize(
+    "engine", ["fast", "reference", "event"] + (["compiled"] if COMPILED_AVAILABLE else [])
+)
+def test_derived_max_ticks_fails_fast(engine):
     """The hop-derived default is tight: a run that can finish does, and
-    an explicit too-small budget raises instead of spinning."""
+    an explicit too-small budget raises the same message everywhere."""
     machine = build_ring(12)
     its = [[0, 6]] * 30  # heavy serialisation still within hops bound
-    res = RoutingSimulator(machine).route(its)
+    res = RoutingSimulator(machine, engine=engine).route(its)
     assert res.total_time <= 30 * 6 + 64
-    with pytest.raises(RuntimeError, match="did not finish"):
-        RoutingSimulator(machine).route(its, max_ticks=2)
-    with pytest.raises(RuntimeError, match="did not finish"):
-        RoutingSimulator(machine, engine="reference").route(its, max_ticks=2)
+    with pytest.raises(RuntimeError, match="did not finish in 2 ticks"):
+        RoutingSimulator(machine, engine=engine).route(its, max_ticks=2)
+
+
+def _open_loop_workload(machine, rate, duration, seed):
+    """Bernoulli injection at each (node, tick), saturation-sweep style."""
+    n = machine.num_nodes
+    rng = np.random.default_rng(seed)
+    inject = rng.random((duration, n)) < rate
+    ticks, nodes = np.nonzero(inject)
+    if len(nodes) == 0:
+        return [], []
+    dst = rng.integers(0, n, size=len(nodes))
+    dst = np.where(dst == nodes, (dst + 1) % n, dst)
+    return np.column_stack([nodes, dst]).tolist(), ticks.tolist()
+
+
+class TestHypothesisEngineCells:
+    """Random (family, n, rate, seed) cells: all engines must agree on
+    the delivered set, every per-packet arrival tick, and beta."""
+
+    @SLOW
+    @given(
+        family=st.sampled_from(all_family_keys()),
+        size=st.sampled_from([8, 16, 32]),
+        rate=st.sampled_from([0.01, 0.05, 0.2, 0.6]),
+        seed=st.integers(min_value=0, max_value=10**6),
+        policy=st.sampled_from(POLICIES),
+    )
+    def test_random_open_loop_cells(self, family, size, rate, seed, policy):
+        machine = family_spec(family).build_with_size(size)
+        its, rel = _open_loop_workload(machine, rate, 64, seed)
+        if not its:
+            return
+        assert_engines_agree(machine, its, release_times=rel, policy=policy)
+
+
+class TestEventEngineIdleHeavy:
+    def test_rate_001_skips_over_90_percent_of_ticks(self):
+        """The regime the event engine exists for: rate=0.01 open-loop
+        injection leaves almost every tick empty or lone-packet, and the
+        engine must cross them without simulating -- while remaining
+        bit-identical to the reference."""
+        machine = build_ring(6)
+        its, rel = _open_loop_workload(machine, 0.01, 4096, seed=7)
+        with obs.tracing(sink=obs.MemorySink()) as tracer:
+            res = RoutingSimulator(machine, engine="event").route(
+                its, release_times=rel
+            )
+            skipped = tracer.counters()["route.ticks_skipped"]
+        ref = RoutingSimulator(machine, engine="reference").route(
+            its, release_times=rel
+        )
+        _assert_same(ref, res, "idle-heavy")
+        assert skipped > 0.9 * res.total_time, (skipped, res.total_time)
+
+    def test_dense_workload_skips_only_the_drain_tail(self):
+        """With every packet released at tick 0 the network is busy
+        throughout; only the final lone-packet drain may fast-forward."""
+        machine = family_spec("mesh_2").build_with_size(16)
+        msgs = symmetric_traffic(16).sample_messages(64, seed=0)
+        with obs.tracing(sink=obs.MemorySink()) as tracer:
+            res = RoutingSimulator(machine, engine="event").route(
+                [[s, d] for s, d in msgs]
+            )
+            skipped = tracer.counters().get("route.ticks_skipped", 0)
+        assert skipped < 0.2 * res.total_time, (skipped, res.total_time)
+
+
+class TestCompiledKernelAlgorithm:
+    """Pin the exact function Numba compiles, independent of whether a
+    native provider exists on this machine."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("port_limit", PORT_LIMITS)
+    def test_unjitted_kernel_matches_reference(self, policy, port_limit):
+        machine = family_spec("de_bruijn").build_with_size(16)
+        machine.port_limit = port_limit
+        n = machine.num_nodes
+        rng = np.random.default_rng(5)
+        its = [
+            [int(s), int(d)]
+            for s, d in rng.integers(0, n, size=(3 * n, 2))
+        ]
+        rel = [int(t) for t in rng.choice([0, 0, 0, 2, 9], size=3 * n)]
+        ref = RoutingSimulator(
+            machine, policy=policy, engine="reference"
+        ).route(its, release_times=rel)
+        _assert_unjitted_kernel_matches(machine, its, rel, policy, ref)
+
+
+class TestCompiledFallback:
+    def _off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "off")
+        compiled_backend._reset_provider_cache()
+
+    @pytest.fixture(autouse=True)
+    def _restore_probe_cache(self):
+        yield
+        compiled_backend._reset_provider_cache()
+
+    def test_engine_compiled_raises_at_construction(self, monkeypatch):
+        self._off(monkeypatch)
+        with pytest.raises(EngineUnavailableError, match="REPRO_COMPILED=off"):
+            RoutingSimulator(build_ring(6), engine="compiled")
+
+    def test_capability_records_the_fallback_reason(self, monkeypatch):
+        self._off(monkeypatch)
+        cap = compiled_backend.capability()
+        assert cap["available"] is False
+        assert cap["provider"] is None
+        assert "REPRO_COMPILED=off" in cap["reason"]
+
+    def test_auto_degrades_gracefully_without_provider(self, monkeypatch):
+        self._off(monkeypatch)
+        machine = family_spec("mesh_2").build_with_size(16)
+        msgs = symmetric_traffic(16).sample_messages(128, seed=2)
+        its = [[s, d] for s, d in msgs]
+        auto = RoutingSimulator(machine, engine="auto").route(its)
+        ref = RoutingSimulator(machine, engine="reference").route(its)
+        _assert_same(ref, auto, "auto-fallback")
+
+
+class TestAutoHeuristic:
+    def test_sparse_run_resolves_to_event(self):
+        machine = family_spec("mesh_2").build_with_size(16)
+        sim = RoutingSimulator(machine, engine="auto")
+        legs = [[0, 5], [3, 9], [2, 14], [1, 11]]
+        assert sim._resolve_engine(legs, [0, 500, 1000, 1500]) == "event"
+
+    def test_dense_run_resolves_to_a_dense_engine(self):
+        machine = family_spec("mesh_2").build_with_size(16)
+        sim = RoutingSimulator(machine, engine="auto")
+        legs = [[i % 16, (i * 7 + 3) % 16] for i in range(400)]
+        resolved = sim._resolve_engine(legs, [0] * len(legs))
+        assert resolved in ("fast", "compiled")
+
+    def test_non_auto_engines_resolve_to_themselves(self):
+        machine = build_ring(8)
+        for engine in ("fast", "reference", "event"):
+            sim = RoutingSimulator(machine, engine=engine)
+            assert sim._resolve_engine([[0, 3]], [0]) == engine

@@ -95,6 +95,62 @@ class TestSaturation:
         with pytest.raises(ValueError):
             saturation_sweep(build_ring(8), rates=[1.5])
 
+    def test_hoisted_sampler_gives_identical_point_values(self):
+        """The sweep builds ``traffic.sampler()`` once and draws every
+        rate point from it.  Replaying the loop with a *fresh* sampler
+        per rate (the old per-point construction) must produce the
+        exact same workloads, hence the exact same curve."""
+        from repro.routing.saturation import SaturationPoint
+        from repro.traffic import symmetric_traffic
+
+        machine = build_mesh(6, 2)
+        n = machine.num_nodes
+        rates = [0.05, 0.2, 0.7]
+        duration = 48
+        pts = saturation_sweep(
+            machine, rates=rates, duration=duration, seed=11
+        )
+        # Un-hoisted replay: same rng stream, sampler rebuilt per rate,
+        # each rate routed alone instead of through the shared batch.
+        traffic = symmetric_traffic(n)
+        rng = np.random.default_rng(11)
+        sim = RoutingSimulator(machine, policy="fifo")
+        expected = []
+        for r in rates:
+            inject = rng.random((duration, n)) < r
+            count = int(inject.sum())
+            assert count > 0  # keep the replay exercising every rate
+            msgs = traffic.sampler()(count, seed=rng)  # fresh sampler
+            ticks, nodes = np.nonzero(inject)
+            dst = np.asarray(msgs, dtype=np.int64)[:, 1]
+            dst = np.where(dst == nodes, (dst + 1) % n, dst)
+            its = np.column_stack([nodes, dst]).tolist()
+            result = sim.route(its, release_times=ticks.tolist())
+            latencies = result.delivery_times - ticks
+            expected.append(
+                SaturationPoint(
+                    offered_rate=float(r),
+                    delivered_rate=result.num_packets
+                    / max(1, result.total_time),
+                    mean_latency=float(latencies.mean()),
+                    p99_latency=float(np.percentile(latencies, 99)),
+                    max_queue=result.max_queue,
+                )
+            )
+        assert pts == expected
+
+    @pytest.mark.parametrize("engine", ["event", "auto", "reference"])
+    def test_sweep_engine_independent(self, engine):
+        """Low-rate sweeps are the event engine's home turf; the curve
+        must not depend on the engine that routed it."""
+        machine = build_de_bruijn(5)
+        kwargs = dict(
+            rates=[0.01, 0.05, 0.4], duration=96, seed=3
+        )
+        assert saturation_sweep(machine, engine=engine, **kwargs) == (
+            saturation_sweep(machine, engine="fast", **kwargs)
+        )
+
     def test_array_saturates_below_mesh(self):
         sat_arr = saturation_bandwidth(build_linear_array(64), duration=64, seed=0)
         sat_mesh = saturation_bandwidth(build_mesh(8, 2), duration=64, seed=0)
