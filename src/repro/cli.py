@@ -10,6 +10,10 @@ Commands:
 * ``catalog``     -- print the full guest x host maximum-host-size matrix;
 * ``families``    -- list every registered machine family;
 * ``sweep``       -- run a cached (optionally parallel) parameter sweep;
+* ``fabric``      -- run a sweep on the leased work-queue fabric
+  (crash-tolerant workers, resumable queue; see docs/FABRIC.md);
+* ``snapshot``    -- build/inspect a memory-mapped catalog snapshot the
+  service mounts as its fastest cache tier (``serve --snapshot``);
 * ``serve``       -- run the long-lived JSON query service over HTTP;
 * ``trace``       -- aggregate a span trace file into a timing report;
 * ``reproduce``   -- run every experiment and write JSON artifacts.
@@ -273,15 +277,10 @@ def _parse_kv(item: str, flag: str) -> tuple[str, str]:
     return key, value
 
 
-def _cmd_sweep(args) -> int:
-    from repro.harness import (
-        ParallelExecutor,
-        ResultStore,
-        SerialExecutor,
-        canonical_json,
-        expand_grid,
-        run_sweep,
-    )
+def _grid_jobs(args) -> list:
+    """Expand the shared ``--families/--sizes/--seeds/--axis/--set`` grid
+    arguments into a job list, with CLI-friendly failures."""
+    from repro.harness import expand_grid
 
     axes: dict[str, list] = {}
     if args.families:
@@ -301,23 +300,15 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(
             "no axes given; use --families/--sizes/--seeds or --axis key=v1,v2"
         )
-
     try:
-        jobs = expand_grid(args.job, axes, base)
+        return expand_grid(args.job, axes, base)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    executor = (
-        ParallelExecutor(
-            max_workers=args.workers, timeout=args.timeout, retries=args.retries
-        )
-        if args.workers > 1
-        else SerialExecutor(timeout=args.timeout, retries=args.retries)
-    )
-    store = ResultStore(args.store) if args.store else None
-    with _traced(args, "cli.sweep"):
-        sweep = run_sweep(
-            jobs, executor=executor, store=store, progress=not args.quiet
-        )
+
+
+def _print_sweep(args, jobs, sweep, resumed: bool = False) -> None:
+    """Shared ``sweep``/``fabric run`` reporting: table, summary, --out."""
+    from repro.harness import canonical_json
 
     rows = []
     for r in sweep.results:
@@ -344,28 +335,194 @@ def _cmd_sweep(args) -> int:
         f"{sweep.num_retries} retries, {sweep.num_timeouts} timeouts"
         + (f"; store {sweep.store_stats}" if sweep.store_stats else "")
     )
+    if resumed:
+        print(
+            f"resumed: {sweep.num_resumed}/{len(jobs)} cells served from "
+            f"the store, {len(jobs) - sweep.num_resumed} executed"
+        )
     if args.out:
         from pathlib import Path
 
         Path(args.out).write_text(json.dumps(sweep.as_dict(), indent=2) + "\n")
         print(f"wrote {args.out}")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness import (
+        ParallelExecutor,
+        ResultStore,
+        SerialExecutor,
+        run_sweep,
+    )
+
+    if args.resume and not args.store:
+        raise SystemExit(
+            "--resume needs --store DIR: resuming means skipping the cells "
+            "a previous run already persisted there"
+        )
+    jobs = _grid_jobs(args)
+    executor = (
+        ParallelExecutor(
+            max_workers=args.workers, timeout=args.timeout, retries=args.retries
+        )
+        if args.workers > 1
+        else SerialExecutor(timeout=args.timeout, retries=args.retries)
+    )
+    store = ResultStore(args.store) if args.store else None
+    with _traced(args, "cli.sweep"):
+        sweep = run_sweep(
+            jobs, executor=executor, store=store, progress=not args.quiet
+        )
+    _print_sweep(args, jobs, sweep, resumed=args.resume)
     return 0 if sweep.ok else 1
 
 
+def _cmd_fabric_run(args) -> int:
+    from repro.fabric import FabricExecutor
+    from repro.harness import ResultStore, run_sweep
+
+    jobs = _grid_jobs(args)
+    executor = FabricExecutor(
+        num_workers=args.workers,
+        queue_dir=args.queue,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat,
+        max_attempts=args.max_attempts,
+        timeout=args.timeout,
+    )
+    store = ResultStore(args.store) if args.store else None
+    with _traced(args, "cli.fabric"):
+        sweep = run_sweep(
+            jobs, executor=executor, store=store, progress=not args.quiet
+        )
+    _print_sweep(args, jobs, sweep)
+    coordinator = executor.coordinator
+    if coordinator is not None and (
+        coordinator.requeues or coordinator.respawns or coordinator.inline_cells
+    ):
+        print(
+            f"fabric: {coordinator.requeues} leases re-queued, "
+            f"{coordinator.respawns} workers respawned, "
+            f"{coordinator.inline_cells} cells drained inline"
+        )
+    return 0 if sweep.ok else 1
+
+
+def _snapshot_grid(args) -> list:
+    """The (family x size x seed) bandwidth cells + every catalog cell."""
+    from repro.harness import Job
+    from repro.service.serializers import DEFAULT_CATALOG_KEYS
+
+    families = list(args.families) or list(DEFAULT_CATALOG_KEYS)
+    for key in families:
+        _family(key)
+    jobs = []
+    for guest in families:
+        for host in families:
+            jobs.append(Job("catalog_cell", {"guest": guest, "host": host}))
+    for family in families:
+        for size in args.sizes:
+            for seed in range(args.seeds):
+                jobs.append(
+                    Job(
+                        "measure_bandwidth",
+                        {
+                            "family": family,
+                            "size": size,
+                            "seed": seed,
+                            "engine": args.engine,
+                        },
+                    )
+                )
+    return jobs
+
+
+def _cmd_snapshot_build(args) -> int:
+    from repro.fabric import FabricExecutor, build_snapshot
+    from repro.fabric.snapshot import SnapshotError
+    from repro.harness import ResultStore, SerialExecutor, run_sweep
+
+    jobs = _snapshot_grid(args)
+    executor = (
+        FabricExecutor(num_workers=args.workers, queue_dir=args.queue)
+        if args.workers > 1
+        else SerialExecutor()
+    )
+    store = ResultStore(args.store) if args.store else None
+    with _traced(args, "cli.snapshot_build"):
+        sweep = run_sweep(
+            jobs, executor=executor, store=store, progress=not args.quiet
+        )
+        if not sweep.ok:
+            first_job, error = sweep.errors()[0]
+            raise SystemExit(
+                f"error: {sweep.num_failed} cells failed; first: "
+                f"{first_job.label()}: {error}"
+            )
+        try:
+            meta = build_snapshot(
+                sweep.results,
+                args.out,
+                extra_meta={
+                    "families": sorted(
+                        {j.spec["family"] for j in jobs if "family" in j.spec}
+                    ),
+                    "sizes": list(args.sizes),
+                    "seeds": args.seeds,
+                },
+            )
+        except SnapshotError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    print(
+        f"snapshot {args.out}: {meta['num_records']} cells "
+        f"({sweep.num_cached} from store, "
+        f"{len(jobs) - sweep.num_cached} computed) "
+        f"in {sweep.wall_seconds:.2f}s [salt {meta['salt']}]"
+    )
+    print(f"serve it: python -m repro serve --snapshot {args.out}")
+    return 0
+
+
+def _cmd_snapshot_info(args) -> int:
+    from repro.fabric import CatalogSnapshot
+    from repro.fabric.snapshot import SnapshotError
+
+    try:
+        with CatalogSnapshot(args.file) as snap:
+            info = snap.info()
+    except SnapshotError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    rows = [(key, info[key]) for key in sorted(info) if key != "fns"]
+    for fn, count in sorted(info.get("fns", {}).items()):
+        rows.append((f"cells[{fn}]", count))
+    print(format_table(["field", "value"], rows, title=f"Snapshot: {args.file}"))
+    return 0
+
+
 def _cmd_serve(args) -> int:
+    from repro.fabric.snapshot import SnapshotError
     from repro.service.server import serve
 
-    return serve(
-        host=args.host,
-        port=args.port,
-        store=args.store,
-        cache_size=args.cache_size,
-        ttl=args.ttl,
-        timeout=args.timeout,
-        max_workers=args.max_workers,
-        verbose=args.verbose,
-        trace=args.trace,
-    )
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            store=args.store,
+            cache_size=args.cache_size,
+            ttl=args.ttl,
+            timeout=args.timeout,
+            max_workers=args.max_workers,
+            verbose=args.verbose,
+            trace=args.trace,
+            snapshot=args.snapshot,
+        )
+    except SnapshotError as exc:
+        # A bad --snapshot file fails at boot with one clean line, not a
+        # traceback (and never silently serves stale/corrupt cells).
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _cmd_trace(args) -> int:
@@ -514,8 +671,134 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--out", default=None, metavar="FILE", help="write full JSON")
     sw.add_argument("--quiet", action="store_true", help="no progress lines")
+    sw.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from --store (skips settled "
+        "cells; reports how many were resumed)",
+    )
     _add_trace_flag(sw)
     sw.set_defaults(fn=_cmd_sweep)
+
+    fb = sub.add_parser(
+        "fabric",
+        help="run a sweep on the leased work-queue fabric",
+        description=(
+            "The fabric executes a sweep grid through a durable on-disk "
+            "work queue: a coordinator leases cells to worker "
+            "subprocesses with heartbeats, re-queues cells whose worker "
+            "dies, and resumes from the same --queue directory after a "
+            "coordinator crash without recomputing settled cells. "
+            "Results are bit-identical to a serial sweep. "
+            "See docs/FABRIC.md."
+        ),
+    )
+    fbsub = fb.add_subparsers(dest="fabric_command", required=True)
+    fbr = fbsub.add_parser("run", help="run a grid through the fabric")
+    fbr.add_argument("job", help="job alias or dotted 'module:callable' path")
+    fbr.add_argument("--families", nargs="*", help="axis sugar: family keys")
+    fbr.add_argument("--sizes", type=int, nargs="*", help="axis sugar: sizes")
+    fbr.add_argument(
+        "--seeds", type=int, help="axis sugar: seeds 0..N-1", metavar="N"
+    )
+    fbr.add_argument(
+        "--axis",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="generic sweep axis (repeatable)",
+    )
+    fbr.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fixed spec entry shared by every cell (repeatable)",
+    )
+    fbr.add_argument("--workers", type=int, default=4, help="worker processes")
+    fbr.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="durable queue directory (resumable across restarts; "
+        "default: ephemeral temp dir)",
+    )
+    fbr.add_argument(
+        "--store", default=None, metavar="DIR", help="result-store directory"
+    )
+    fbr.add_argument(
+        "--lease-ttl", type=float, default=15.0, dest="lease_ttl",
+        help="seconds without a heartbeat before a lease is re-queued",
+    )
+    fbr.add_argument(
+        "--heartbeat", type=float, default=1.0,
+        help="worker heartbeat interval (seconds)",
+    )
+    fbr.add_argument(
+        "--max-attempts", type=int, default=3, dest="max_attempts",
+        help="attempts per cell before it fails terminally",
+    )
+    fbr.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (seconds)"
+    )
+    fbr.add_argument(
+        "--out", default=None, metavar="FILE", help="write full JSON"
+    )
+    fbr.add_argument("--quiet", action="store_true", help="no progress lines")
+    _add_trace_flag(fbr)
+    fbr.set_defaults(fn=_cmd_fabric_run)
+
+    sn = sub.add_parser(
+        "snapshot",
+        help="build/inspect memory-mapped catalog snapshots",
+        description=(
+            "A snapshot precomputes a grid of query cells into one "
+            "read-optimized, checksummed, mmap-able file the service "
+            "mounts as its fastest cache tier (serve --snapshot FILE; "
+            "responses report meta.cache == 'snapshot'). "
+            "See docs/FABRIC.md."
+        ),
+    )
+    snsub = sn.add_subparsers(dest="snapshot_command", required=True)
+    snb = snsub.add_parser("build", help="precompute a grid into a snapshot")
+    snb.add_argument(
+        "--out", required=True, metavar="FILE", help="snapshot file to write"
+    )
+    snb.add_argument(
+        "--families", nargs="*", default=[],
+        help="family keys (default: the service catalog set)",
+    )
+    snb.add_argument(
+        "--sizes", type=int, nargs="*", default=[64, 256],
+        help="bandwidth cell sizes",
+    )
+    snb.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="bandwidth cell seeds 0..N-1",
+    )
+    snb.add_argument(
+        "--engine",
+        choices=["fast", "reference", "event", "compiled", "auto"],
+        default="fast",
+        help="simulator engine for the bandwidth cells",
+    )
+    snb.add_argument(
+        "--workers", type=int, default=4,
+        help="fabric workers (1 = compute serially in-process)",
+    )
+    snb.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="durable fabric queue directory (resumable build)",
+    )
+    snb.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory (reuses already-computed cells)",
+    )
+    snb.add_argument("--quiet", action="store_true", help="no progress lines")
+    _add_trace_flag(snb)
+    snb.set_defaults(fn=_cmd_snapshot_build)
+    sni = snsub.add_parser("info", help="print a snapshot's metadata")
+    sni.add_argument("file", help="snapshot file")
+    sni.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    sni.set_defaults(fn=_cmd_snapshot_info)
 
     sv = sub.add_parser(
         "serve",
@@ -553,6 +836,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently processed requests",
     )
     sv.add_argument("--verbose", action="store_true", help="access logging")
+    sv.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="memory-mapped catalog snapshot (tier-0 cache; build with "
+        "'repro snapshot build')",
+    )
     _add_trace_flag(sv)
     sv.set_defaults(fn=_cmd_serve)
 

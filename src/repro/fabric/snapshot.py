@@ -1,0 +1,312 @@
+"""Memory-mapped catalog snapshot: the service's read-only fast tier.
+
+A snapshot freezes a precomputed grid of job results -- typically built
+through the fabric by ``repro snapshot build`` -- into **one
+read-optimized file** the query service ``mmap``s and binary-searches,
+so a hit costs two page-cache probes and a small ``json.loads`` instead
+of a compute, a disk-store read, or even an LRU dict lookup warm-up.
+
+File format (little-endian, versioned, checksummed)::
+
+    bytes 0..8    magic  b"RSNAPSH1"
+    bytes 8..40   SHA-256 of everything after byte 40
+    bytes 40..48  meta length (u64)
+    meta          canonical JSON: version, salt, counts, offsets
+    index         num_records x 48 bytes, sorted by hash:
+                      32-byte raw job hash | u64 data offset | u64 length
+    data          concatenated canonical-JSON values
+
+The fixed-width sorted index is the whole trick: ``get`` is a binary
+search over an ``mmap`` slice -- no deserialization until the one
+matching record -- and the sort makes the file deterministic for a
+given cell set.  The checksum covers meta+index+data, so a truncated or
+bit-flipped snapshot is rejected at open with :class:`SnapshotError`
+rather than ever serving a wrong byte.  The **salt** mirrors the result
+store's code-version salt: a snapshot built by a different code version
+refuses to load unless the caller explicitly opts out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.harness.jobs import canonical_json
+from repro.harness.store import default_salt
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "CatalogSnapshot",
+    "SnapshotError",
+    "build_snapshot",
+    "write_snapshot",
+]
+
+SNAPSHOT_MAGIC = b"RSNAPSH1"
+_HEADER = struct.Struct("<8s32sQ")  # magic, sha256, meta length
+_RECORD = struct.Struct("<32sQQ")  # raw hash, data offset, data length
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is missing, corrupt, or from another code version."""
+
+
+def write_snapshot(
+    cells: Mapping[str, Any],
+    path: str | Path,
+    salt: str | None = None,
+    extra_meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write ``{job_hash_hex: value}`` as a snapshot file; returns its meta.
+
+    Values must be JSON-serializable (they are job results, so they
+    are).  The write is atomic -- temp file + rename -- so a crashed
+    build never leaves a half-snapshot where a service might open it.
+    """
+    path = Path(path)
+    salt = salt if salt is not None else default_salt()
+    records: list[tuple[bytes, bytes]] = []
+    for job_hash, value in cells.items():
+        try:
+            raw = bytes.fromhex(job_hash)
+        except ValueError as exc:
+            raise SnapshotError(f"not a hex job hash: {job_hash!r}") from exc
+        if len(raw) != 32:
+            raise SnapshotError(
+                f"job hash must be 32 bytes (sha-256), got {len(raw)}"
+            )
+        records.append((raw, canonical_json(value).encode("utf-8")))
+    records.sort(key=lambda pair: pair[0])
+
+    meta = dict(extra_meta or {})
+    meta.update(
+        {
+            "version": SNAPSHOT_VERSION,
+            "salt": salt,
+            "num_records": len(records),
+            "created": time.time(),
+        }
+    )
+    meta_bytes = canonical_json(meta).encode("utf-8")
+    index_offset = _HEADER.size + len(meta_bytes)
+    data_offset = index_offset + _RECORD.size * len(records)
+
+    index = bytearray()
+    data = bytearray()
+    for raw, payload in records:
+        index += _RECORD.pack(raw, data_offset + len(data), len(payload))
+        data += payload
+
+    body = meta_bytes + bytes(index) + bytes(data)
+    length_prefix = struct.pack("<Q", len(meta_bytes))
+    digest = hashlib.sha256(length_prefix + body).digest()
+    blob = SNAPSHOT_MAGIC + digest + length_prefix + body
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return meta
+
+
+def build_snapshot(
+    results: Sequence[Any],
+    path: str | Path,
+    salt: str | None = None,
+    extra_meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Snapshot a sweep's :class:`~repro.harness.executors.JobResult` list.
+
+    Every cell must have succeeded -- a snapshot with holes would turn
+    deterministic cache misses into silent recomputes, which defeats
+    its point -- so failures raise :class:`SnapshotError` listing the
+    bad cells.
+    """
+    failed = [r for r in results if not r.ok]
+    if failed:
+        labels = ", ".join(r.job.label() for r in failed[:3])
+        raise SnapshotError(
+            f"cannot snapshot a sweep with {len(failed)} failed cells "
+            f"(first: {labels})"
+        )
+    fns: dict[str, int] = {}
+    cells: dict[str, Any] = {}
+    for result in results:
+        cells[result.job.job_hash] = result.value
+        fns[result.job.fn] = fns.get(result.job.fn, 0) + 1
+    meta = {"fns": fns}
+    meta.update(extra_meta or {})
+    return write_snapshot(cells, path, salt=salt, extra_meta=meta)
+
+
+class CatalogSnapshot:
+    """An open snapshot: checksum-verified, memory-mapped, binary-searched."""
+
+    def __init__(
+        self, path: str | Path, expected_salt: str | None = None
+    ) -> None:
+        self.path = Path(path)
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise SnapshotError(f"cannot open snapshot {self.path}: {exc}") from exc
+        try:
+            self._load(expected_salt)
+        except BaseException:
+            self._file.close()
+            raise
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _load(self, expected_salt: str | None) -> None:
+        header = self._file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise SnapshotError(f"snapshot {self.path} is truncated")
+        magic, digest, meta_len = _HEADER.unpack(header)
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(
+                f"{self.path} is not a repro snapshot (bad magic)"
+            )
+        body = self._file.read()
+        check = hashlib.sha256(struct.pack("<Q", meta_len) + body)
+        if check.digest() != digest:
+            raise SnapshotError(
+                f"snapshot {self.path} failed its checksum "
+                "(truncated or corrupted; rebuild with 'repro snapshot build')"
+            )
+        if meta_len > len(body):
+            raise SnapshotError(f"snapshot {self.path} is truncated")
+        try:
+            self.meta = json.loads(body[:meta_len].decode("utf-8"))
+        except ValueError as exc:
+            raise SnapshotError(
+                f"snapshot {self.path} has unparsable metadata"
+            ) from exc
+        if self.meta.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot {self.path} is format version "
+                f"{self.meta.get('version')!r}; this build reads "
+                f"{SNAPSHOT_VERSION}"
+            )
+        if expected_salt is not None and self.meta.get("salt") != expected_salt:
+            raise SnapshotError(
+                f"snapshot {self.path} was built by code version "
+                f"{self.meta.get('salt')!r} but this build is "
+                f"{expected_salt!r}; rebuild it"
+            )
+        self.num_records = int(self.meta["num_records"])
+        self._index_offset = _HEADER.size + meta_len
+        expected = self._index_offset + _RECORD.size * self.num_records
+        if _HEADER.size + len(body) < expected:
+            raise SnapshotError(f"snapshot {self.path} is truncated")
+        if self.num_records:
+            self._mmap = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        else:
+            self._mmap = None
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, job_hash: str) -> tuple[bool, Any]:
+        """``(True, value)`` for a snapshotted cell, ``(False, None)`` else."""
+        record = self._find(job_hash)
+        if record is None:
+            with self._lock:
+                self.misses += 1
+            return False, None
+        offset, length = record
+        value = json.loads(self._mmap[offset : offset + length])
+        with self._lock:
+            self.hits += 1
+        return True, value
+
+    def _find(self, job_hash: str) -> tuple[int, int] | None:
+        if self._mmap is None:
+            return None
+        try:
+            needle = bytes.fromhex(job_hash)
+        except ValueError:
+            return None
+        if len(needle) != 32:
+            return None
+        lo, hi = 0, self.num_records
+        base = self._index_offset
+        view = self._mmap
+        while lo < hi:
+            mid = (lo + hi) // 2
+            at = base + mid * _RECORD.size
+            raw = view[at : at + 32]
+            if raw == needle:
+                _, offset, length = _RECORD.unpack(
+                    view[at : at + _RECORD.size]
+                )
+                return offset, length
+            if raw < needle:
+                lo = mid + 1
+            else:
+                hi = mid
+        return None
+
+    def __contains__(self, job_hash: str) -> bool:
+        return self._find(job_hash) is not None
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def hashes(self) -> Iterator[str]:
+        """Yield every snapshotted job hash (index order = sorted)."""
+        for i in range(self.num_records):
+            at = self._index_offset + i * _RECORD.size
+            yield self._mmap[at : at + 32].hex()
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready hit/miss counters (shown on ``GET /metrics``)."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return {
+            "records": self.num_records,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        }
+
+    def info(self) -> dict[str, Any]:
+        """Snapshot metadata plus file facts (what ``snapshot info`` prints)."""
+        return {
+            "path": str(self.path),
+            "bytes": self.path.stat().st_size,
+            **self.meta,
+        }
+
+    def close(self) -> None:
+        """Release the mapping and file handle (idempotent)."""
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "CatalogSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -29,7 +29,12 @@ from repro.harness.jobs import (
     resolve_job,
 )
 from repro.harness.store import ResultStore, StoreStats, default_salt
-from repro.harness.sweep import SweepResult, expand_grid, run_sweep
+from repro.harness.sweep import (
+    SweepResult,
+    expand_grid,
+    resolve_executor,
+    run_sweep,
+)
 
 __all__ = [
     "BUILTIN_JOBS",
@@ -46,6 +51,7 @@ __all__ = [
     "default_salt",
     "expand_grid",
     "register_job",
+    "resolve_executor",
     "resolve_job",
     "run_sweep",
 ]

@@ -12,6 +12,10 @@ same values no matter the executor, the worker count, or how many cells
 came from the cache -- seeds live in specs, and results are re-ordered
 to submission order.  ``python -m repro sweep`` exposes the same engine
 on the command line.
+
+``executor`` also accepts a name -- ``"serial"``, ``"parallel"``, or
+``"fabric"`` (the leased work-queue fabric in :mod:`repro.fabric`, see
+``docs/FABRIC.md``) -- for callers that do not want to construct one.
 """
 
 from __future__ import annotations
@@ -27,7 +31,34 @@ from repro.harness.jobs import Job
 from repro.harness.store import ResultStore
 from repro.obs import trace as obs
 
-__all__ = ["SweepResult", "expand_grid", "run_sweep"]
+__all__ = ["SweepResult", "expand_grid", "resolve_executor", "run_sweep"]
+
+
+def resolve_executor(executor: Any) -> Any:
+    """Map an executor name to an instance; pass instances through.
+
+    Names: ``"serial"``, ``"parallel"`` (process pool, default worker
+    count), ``"fabric"`` (leased work-queue fabric, default worker
+    count).  The fabric import is lazy so the harness has no hard
+    dependency on :mod:`repro.fabric`.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if not isinstance(executor, str):
+        return executor
+    name = executor.strip().lower()
+    if name == "serial":
+        return SerialExecutor()
+    if name == "parallel":
+        return ParallelExecutor()
+    if name == "fabric":
+        from repro.fabric import FabricExecutor
+
+        return FabricExecutor()
+    raise ValueError(
+        f"unknown executor {executor!r}: expected 'serial', 'parallel', "
+        "'fabric', or an executor instance"
+    )
 
 
 def expand_grid(
@@ -76,6 +107,17 @@ class SweepResult:
         return sum(1 for r in self.results if r.cached)
 
     @property
+    def num_resumed(self) -> int:
+        """Cells resumed from the result store instead of re-executed.
+
+        Today every cached cell is a resumed cell (the store is the only
+        pre-execution tier a sweep consults), so this aliases
+        :attr:`num_cached` under the name the resume workflow reports
+        (``repro sweep --resume``).
+        """
+        return self.num_cached
+
+    @property
     def num_failed(self) -> int:
         return sum(1 for r in self.results if not r.ok)
 
@@ -122,6 +164,7 @@ class SweepResult:
             "wall_seconds": round(self.wall_seconds, 4),
             "num_jobs": len(self.results),
             "num_cached": self.num_cached,
+            "num_resumed": self.num_resumed,
             "num_failed": self.num_failed,
             "num_retries": self.num_retries,
             "num_timeouts": self.num_timeouts,
@@ -147,18 +190,19 @@ def _progress_printer(total: int) -> Callable[[JobResult], None]:
 
 def run_sweep(
     jobs: Iterable[Job],
-    executor: SerialExecutor | ParallelExecutor | None = None,
+    executor: SerialExecutor | ParallelExecutor | str | None = None,
     store: ResultStore | None = None,
     progress: bool | Callable[[JobResult], None] = False,
 ) -> SweepResult:
     """Run every job, serving repeats from ``store`` when one is given.
 
     Cache hits never execute; misses run on ``executor`` (default
-    serial) and successful fresh results are persisted.  The returned
+    serial; also accepts ``"serial"``/``"parallel"``/``"fabric"`` by
+    name) and successful fresh results are persisted.  The returned
     results are in job order regardless of completion order.
     """
     jobs = list(jobs)
-    executor = executor or SerialExecutor()
+    executor = resolve_executor(executor)
     on_result = (
         _progress_printer(len(jobs))
         if progress is True

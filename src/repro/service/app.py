@@ -19,12 +19,19 @@ Endpoints::
 
 Compute endpoints funnel through :meth:`QueryService._run_job`: the
 validated request *is* a harness job spec, so the job's content hash
-keys both cache tiers (in-process :class:`~repro.service.cache.TTLCache`
-then the on-disk :class:`~repro.harness.store.ResultStore`) and a cold
-request executes through the harness :class:`SerialExecutor`, reusing
-its timeout/retry machinery.  Responses carry a ``meta.cache`` field
-(``"memory"``, ``"store"`` or ``"miss"``) so clients and benchmarks can
-see which tier answered.
+keys every cache tier -- the optional memory-mapped
+:class:`~repro.fabric.snapshot.CatalogSnapshot` (precomputed cells,
+consulted first so snapshotted queries never touch the compute path),
+the in-process :class:`~repro.service.cache.TTLCache`, then the on-disk
+:class:`~repro.harness.store.ResultStore` -- and a cold request
+executes through the harness :class:`SerialExecutor`, reusing its
+timeout/retry machinery.  Concurrent cold requests for the same job
+hash are **single-flighted** (:class:`~repro.service.cache.SingleFlight`):
+one computes, the rest wait and share the value.  Responses carry a
+``meta.cache`` field (``"snapshot"``, ``"memory"``, ``"store"``,
+``"miss"``, or ``"coalesced"`` for a request that drafted behind
+another's compute) so clients and benchmarks can see which tier
+answered.
 
 Note on timeouts: the harness deadline is ``SIGALRM``-based, so it is
 enforced when ``handle`` runs on the main thread (direct calls, tests)
@@ -44,7 +51,7 @@ from repro import __version__
 from repro.harness import Job, ResultStore, SerialExecutor
 from repro.obs import trace as obs
 from repro.service import serializers
-from repro.service.cache import TTLCache
+from repro.service.cache import SingleFlight, TTLCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.schemas import MAX_MACHINE_SIZE, ApiError, Field, Schema
 
@@ -108,9 +115,12 @@ class QueryService:
         ttl: float = 300.0,
         timeout: float | None = None,
         retries: int = 0,
+        snapshot: Any = None,
     ) -> None:
         self.store = store
+        self.snapshot = snapshot  # a CatalogSnapshot, or None
         self.cache = TTLCache(maxsize=cache_size, ttl=ttl)
+        self.flight = SingleFlight()
         self.metrics = ServiceMetrics()
         self.executor = SerialExecutor(timeout=timeout, retries=retries)
         self.started = time.monotonic()
@@ -202,13 +212,37 @@ class QueryService:
     # -- the two-tier cached compute path -----------------------------------
 
     def _run_job(self, fn: str, spec: Mapping[str, Any]) -> tuple[Any, str]:
-        """``(value, tier)`` where tier is ``memory``/``store``/``miss``."""
+        """``(value, tier)``; tier is ``snapshot``/``memory``/``store``/
+        ``miss``/``coalesced``.
+
+        Tier order: snapshot (mmap, never touches compute), memory LRU,
+        then the single-flighted cold path (disk store, else execute).
+        A request that arrives while another request is already
+        computing the same job hash waits for it instead of recomputing
+        and reports the ``coalesced`` tier.
+        """
         job = Job(fn, spec)
+        if self.snapshot is not None:
+            hit, value = self.snapshot.get(job.job_hash)
+            if hit:
+                obs.event("job.cache_hit", tier="snapshot", fn=job.fn,
+                          hash=job.job_hash[:12])
+                return value, "snapshot"
         hit, value = self.cache.get(job.job_hash)
         if hit:
             obs.event("job.cache_hit", tier="memory", fn=job.fn,
                       hash=job.job_hash[:12])
             return value, "memory"
+        (value, tier), leader = self.flight.run(
+            job.job_hash, lambda: self._run_job_cold(job)
+        )
+        if not leader:
+            obs.event("job.coalesced", fn=job.fn, hash=job.job_hash[:12])
+            return value, "coalesced"
+        return value, tier
+
+    def _run_job_cold(self, job: Job) -> tuple[Any, str]:
+        """The leader's path after both fast tiers missed."""
         if self.store is not None:
             hit, value = self.store.get(job)
             if hit:
@@ -254,6 +288,14 @@ class QueryService:
                 "store": (
                     self.store.stats.as_dict() if self.store is not None else None
                 ),
+                "snapshot": (
+                    self.snapshot.stats() if self.snapshot is not None else None
+                ),
+                # Single-flight effectiveness: how many requests were
+                # spared a recompute by drafting behind an identical
+                # in-flight cold request.
+                "coalesced": self.flight.coalesced,
+                "flight": self.flight.stats(),
             },
             # Live span aggregates + counters when tracing is enabled
             # (null otherwise, so the key is stable for scrapers).
@@ -282,7 +324,8 @@ class QueryService:
 
     def _h_catalog(self, params: dict) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        tiers = {"memory": 0, "store": 0, "miss": 0}
+        tiers = {"snapshot": 0, "memory": 0, "store": 0, "miss": 0,
+                 "coalesced": 0}
         cells = []
         for guest in params["guests"]:
             for host in params["hosts"]:

@@ -13,6 +13,12 @@ Entries expire after ``ttl`` seconds (lazily, on lookup) so a
 long-running server bounds the staleness of anything served from
 memory; the disk tier has no TTL because job results are deterministic
 and salted by code version.  The clock is injectable for tests.
+
+:class:`SingleFlight` guards the cold path *between* the tiers: when N
+concurrent requests miss on the same job hash, exactly one of them (the
+**leader**) computes while the rest park on an event and reuse the
+leader's value -- the ``coalesced`` counter on ``GET /metrics`` counts
+the requests that were spared a recompute.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["CacheStats", "TTLCache"]
+__all__ = ["CacheStats", "SingleFlight", "TTLCache"]
 
 
 @dataclass
@@ -110,3 +116,69 @@ class TTLCache:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+
+
+class _InFlightCall:
+    """One in-progress computation followers can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key coalescing of concurrent identical computations.
+
+    ``run(key, fn)`` guarantees that among all threads calling it with
+    the same ``key`` concurrently, exactly one executes ``fn`` (the
+    leader); the others block until it finishes and share its value --
+    or re-raise its exception, so a failing cold compute fails every
+    coalesced request identically instead of triggering a retry storm.
+    Distinct keys never contend beyond one dict lookup.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, _InFlightCall] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def run(self, key: str, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """``(fn(), True)`` for the leader, ``(shared value, False)`` else."""
+        with self._lock:
+            call = self._calls.get(key)
+            if call is None:
+                call = self._calls[key] = _InFlightCall()
+                self.leaders += 1
+                leader = True
+            else:
+                self.coalesced += 1
+                leader = False
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.value, False
+        try:
+            call.value = fn()
+        except BaseException as exc:
+            call.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.event.set()
+        return call.value, True
+
+    def in_flight(self) -> int:
+        """How many keys are currently being computed."""
+        with self._lock:
+            return len(self._calls)
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready leader/coalesced counters (for ``GET /metrics``)."""
+        with self._lock:
+            return {"leaders": self.leaders, "coalesced": self.coalesced}

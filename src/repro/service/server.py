@@ -176,16 +176,36 @@ def create_server(
     retries: int = 0,
     max_workers: int = 8,
     verbose: bool = False,
+    snapshot: str | Path | None = None,
 ) -> ServiceServer:
-    """Build a ready-to-``serve_forever`` server (``port=0`` = ephemeral)."""
+    """Build a ready-to-``serve_forever`` server (``port=0`` = ephemeral).
+
+    ``snapshot`` mounts a precomputed :mod:`repro.fabric` catalog
+    snapshot as the front cache tier; a missing, corrupt, or
+    wrong-code-version file raises
+    :class:`~repro.fabric.snapshot.SnapshotError` here, at boot, rather
+    than failing requests later.
+    """
     if isinstance(store, (str, Path)):
         store = ResultStore(store)
+    opened_snapshot = None
+    if snapshot is not None:
+        from repro.fabric.snapshot import CatalogSnapshot
+        from repro.harness.store import default_salt
+
+        if isinstance(snapshot, (str, Path)):
+            opened_snapshot = CatalogSnapshot(
+                snapshot, expected_salt=default_salt()
+            )
+        else:
+            opened_snapshot = snapshot
     service = QueryService(
         store=store,
         cache_size=cache_size,
         ttl=ttl,
         timeout=timeout,
         retries=retries,
+        snapshot=opened_snapshot,
     )
     return ServiceServer((host, port), service, max_workers=max_workers,
                          verbose=verbose)
@@ -202,6 +222,7 @@ def serve(
     verbose: bool = False,
     drain_timeout: float = 10.0,
     trace: str | None = None,
+    snapshot: str | None = None,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, then drain; returns exit code.
 
@@ -221,6 +242,7 @@ def serve(
         timeout=timeout,
         max_workers=max_workers,
         verbose=verbose,
+        snapshot=snapshot,
     )
     stop = threading.Event()
 
@@ -233,6 +255,9 @@ def serve(
     }
     bound_host, bound_port = server.server_address[:2]
     store_note = f", store={store}" if store else ", no store (memory tier only)"
+    if snapshot:
+        cells = len(server.service.snapshot)
+        store_note = f", snapshot={snapshot} ({cells} cells)" + store_note
     trace_note = f", trace={trace}" if trace else ""
     print(
         f"repro-service {__version__} listening on "

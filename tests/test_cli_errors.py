@@ -112,3 +112,75 @@ class TestJsonFlags:
         assert len(payload["cells"]) == 4
         cell = payload["cells"][0]
         assert set(cell) == {"guest", "host", "expr", "bound", "kind"}
+
+
+class TestSnapshotErrors:
+    """Corrupt or mismatched snapshot files must fail with one clean
+    ``error: ...`` line -- at ``snapshot info`` time and at ``serve``
+    boot -- never a struct/JSON traceback from the binary reader."""
+
+    @pytest.fixture()
+    def corrupt_snapshot(self, tmp_path):
+        from repro.fabric import write_snapshot
+        from repro.harness import Job
+
+        job = Job("catalog_cell", {"guest": "ring", "host": "ring"})
+        path = tmp_path / "cells.snap"
+        write_snapshot({job.job_hash: {"ok": True}}, path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        return path
+
+    def _assert_clean_snapshot_error(self, argv, needle):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        message = str(excinfo.value)
+        assert message.startswith("error:")
+        assert needle in message
+        assert "Traceback" not in message
+
+    def test_snapshot_info_corrupt_file(self, corrupt_snapshot):
+        self._assert_clean_snapshot_error(
+            ["snapshot", "info", str(corrupt_snapshot)], "checksum"
+        )
+
+    def test_snapshot_info_missing_file(self, tmp_path):
+        self._assert_clean_snapshot_error(
+            ["snapshot", "info", str(tmp_path / "nope.snap")], "cannot open"
+        )
+
+    def test_snapshot_info_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "readme.txt"
+        path.write_text("not a snapshot, not even close, but long enough\n")
+        self._assert_clean_snapshot_error(
+            ["snapshot", "info", str(path)], "magic"
+        )
+
+    def test_serve_rejects_corrupt_snapshot_at_boot(self, corrupt_snapshot):
+        self._assert_clean_snapshot_error(
+            ["serve", "--port", "0", "--snapshot", str(corrupt_snapshot)],
+            "checksum",
+        )
+
+    def test_serve_rejects_stale_salt_at_boot(self, tmp_path):
+        from repro.fabric import write_snapshot
+        from repro.harness import Job
+
+        job = Job("catalog_cell", {"guest": "ring", "host": "ring"})
+        path = tmp_path / "old.snap"
+        write_snapshot({job.job_hash: {"ok": True}}, path,
+                       salt="repro-0.0.0-h0")
+        self._assert_clean_snapshot_error(
+            ["serve", "--port", "0", "--snapshot", str(path)], "code version"
+        )
+
+
+class TestSweepResumeErrors:
+    def test_resume_without_store_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "measure_bandwidth", "--families", "ring",
+                  "--sizes", "16", "--resume"])
+        message = str(excinfo.value)
+        assert "--resume needs --store" in message
+        assert "Traceback" not in message

@@ -308,7 +308,14 @@ class TestGracefulShutdown:
         ]
         for worker in workers:
             worker.start()
-        time.sleep(0.05)  # let the requests reach the compute path
+        # Wait until every request has actually reached the server (in
+        # flight or already answered) before draining: a fixed sleep
+        # races on a loaded box and a late arrival would see 503.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if srv.in_flight + len(outcomes) >= 3:
+                break
+            time.sleep(0.005)
         assert srv.drain(timeout=30.0)
         for worker in workers:
             worker.join(timeout=30)
@@ -412,3 +419,186 @@ class TestSchemas:
         with pytest.raises(ApiError) as excinfo:
             schema.validate({"size": True})
         assert excinfo.value.status == 400
+
+
+class TestSnapshotTier:
+    """The memory-mapped snapshot as the service's front cache tier."""
+
+    @pytest.fixture()
+    def snapshot_path(self, tmp_path):
+        from repro.fabric import build_snapshot
+        from repro.harness import Job, run_sweep
+
+        jobs = [
+            Job("measure_bandwidth",
+                {"family": "ring", "size": 32, "seed": 0, "engine": "fast"}),
+            Job("catalog_cell", {"guest": "ring", "host": "ring"}),
+        ]
+        sweep = run_sweep(jobs)
+        assert sweep.ok
+        path = tmp_path / "cells.snap"
+        build_snapshot(sweep.results, path)
+        return path
+
+    def test_snapshotted_cell_served_from_snapshot_tier(self, snapshot_path):
+        from repro.fabric import CatalogSnapshot
+
+        service = QueryService(snapshot=CatalogSnapshot(snapshot_path))
+        status, payload = service.handle(
+            "GET", "/v1/bandwidth",
+            {"family": "ring", "size": "32", "seed": "0", "engine": "fast"},
+        )
+        assert status == 200
+        assert payload["meta"]["cache"] == "snapshot"
+        # Tier order: the snapshot wins even on repeat queries (the
+        # memory LRU never even sees the key).
+        status, payload = service.handle(
+            "GET", "/v1/bandwidth",
+            {"family": "ring", "size": "32", "seed": "0", "engine": "fast"},
+        )
+        assert payload["meta"]["cache"] == "snapshot"
+
+    def test_snapshot_value_identical_to_cold_compute(self, snapshot_path):
+        from repro.fabric import CatalogSnapshot
+
+        query = {"family": "ring", "size": "32", "seed": "0", "engine": "fast"}
+        snapped = QueryService(snapshot=CatalogSnapshot(snapshot_path))
+        cold = QueryService()
+        _, a = snapped.handle("GET", "/v1/bandwidth", query)
+        _, b = cold.handle("GET", "/v1/bandwidth", query)
+        assert a["meta"]["cache"] == "snapshot"
+        assert b["meta"]["cache"] == "miss"
+        assert a["result"] == b["result"]
+
+    def test_catalog_counts_snapshot_tier(self, snapshot_path):
+        from repro.fabric import CatalogSnapshot
+
+        service = QueryService(snapshot=CatalogSnapshot(snapshot_path))
+        status, payload = service.handle(
+            "GET", "/v1/catalog", {"guests": "ring", "hosts": "ring"}
+        )
+        assert status == 200
+        assert payload["meta"]["cache"]["snapshot"] == 1
+        assert sum(payload["meta"]["cache"].values()) == 1
+
+    def test_metrics_exposes_snapshot_stats(self, snapshot_path):
+        from repro.fabric import CatalogSnapshot
+
+        service = QueryService(snapshot=CatalogSnapshot(snapshot_path))
+        service.handle(
+            "GET", "/v1/bandwidth",
+            {"family": "ring", "size": "32", "seed": "0", "engine": "fast"},
+        )
+        _, metrics = service.handle("GET", "/metrics")
+        snap_stats = metrics["cache"]["snapshot"]
+        assert snap_stats["records"] == 2
+        assert snap_stats["hits"] == 1
+
+    def test_unsnapshotted_cell_falls_through(self, snapshot_path):
+        from repro.fabric import CatalogSnapshot
+
+        service = QueryService(snapshot=CatalogSnapshot(snapshot_path))
+        status, payload = service.handle(
+            "GET", "/v1/bandwidth",
+            {"family": "ring", "size": "64", "seed": "0", "engine": "fast"},
+        )
+        assert status == 200
+        assert payload["meta"]["cache"] == "miss"
+
+
+class TestCoalescing:
+    """Single-flight: concurrent identical cold requests compute once."""
+
+    def test_concurrent_cold_requests_coalesce(self):
+        service = QueryService()
+        release = threading.Event()
+        leader_started = threading.Event()
+        cold = service._run_job_cold
+
+        def slow_cold(job):
+            leader_started.set()
+            assert release.wait(timeout=30), "test never released the leader"
+            return cold(job)
+
+        service._run_job_cold = slow_cold
+        query = {"family": "ring", "size": "16", "seed": "0", "engine": "fast"}
+        outcomes = []
+
+        def hit():
+            outcomes.append(service.handle("GET", "/v1/bandwidth", query))
+
+        leader = threading.Thread(target=hit)
+        leader.start()
+        assert leader_started.wait(timeout=30)
+        follower = threading.Thread(target=hit)
+        follower.start()
+        # The follower has joined the flight once the coalesced counter
+        # ticks; only then is it safe to let the leader finish.
+        deadline = time.monotonic() + 30
+        while service.flight.coalesced < 1:
+            assert time.monotonic() < deadline, "follower never coalesced"
+            time.sleep(0.005)
+        release.set()
+        leader.join(timeout=30)
+        follower.join(timeout=30)
+        assert len(outcomes) == 2
+        tiers = sorted(payload["meta"]["cache"] for _, payload in outcomes)
+        assert tiers == ["coalesced", "miss"]
+        values = [payload["result"] for _, payload in outcomes]
+        assert values[0] == values[1]
+
+    def test_metrics_reports_coalesced_counter(self):
+        service = QueryService()
+        _, metrics = service.handle("GET", "/metrics")
+        assert metrics["cache"]["coalesced"] == 0
+        assert metrics["cache"]["flight"] == {"leaders": 0, "coalesced": 0}
+        service.flight.coalesced = 3  # as if three requests drafted
+        _, metrics = service.handle("GET", "/metrics")
+        assert metrics["cache"]["coalesced"] == 3
+
+    def test_single_flight_exception_propagates_to_followers(self):
+        from repro.service.cache import SingleFlight
+
+        flight = SingleFlight()
+        gate = threading.Event()
+        errors = []
+
+        def boom():
+            gate.wait(5)
+            raise RuntimeError("cold path exploded")
+
+        def leader():
+            try:
+                flight.run("k", boom)
+            except RuntimeError as exc:
+                errors.append(("leader", str(exc)))
+
+        def follower():
+            try:
+                flight.run("k", lambda: "never called")
+            except RuntimeError as exc:
+                errors.append(("follower", str(exc)))
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        deadline = time.monotonic() + 5
+        while flight.in_flight() < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        deadline = time.monotonic() + 5
+        while flight.coalesced < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        gate.set()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert sorted(e[0] for e in errors) == ["follower", "leader"]
+        assert all("exploded" in e[1] for e in errors)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        from repro.service.cache import SingleFlight
+
+        flight = SingleFlight()
+        assert flight.run("a", lambda: 1) == (1, True)
+        assert flight.run("b", lambda: 2) == (2, True)
+        assert flight.stats() == {"leaders": 2, "coalesced": 0}
