@@ -1,0 +1,135 @@
+"""Workload scenarios under offered load: how traffic shape moves beta.
+
+The saturation methodology of ``bench_saturation.py``, swept across the
+workload registry instead of the family registry: the same machine
+(mesh_2 at n=64, plus the fat_tree fabric for the collectives) under
+symmetric, hotspot, bursty, scale-free, and all-reduce traffic.  The
+signatures asserted:
+
+* hotspot saturates far below symmetric (one destination serializes);
+* the bursty plateau tracks the duty cycle, not the symmetric plateau;
+* ring all-reduce outruns tree all-reduce on per-phase parallelism.
+
+Emits the ``workloads`` key of ``BENCH_routing.json`` (merge-write,
+preserving the engine benches' keys): one saturation curve per
+scenario plus the collective timings -- the committed artifact that
+records at least one non-symmetric curve.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import emit
+from repro.routing import saturation_sweep
+from repro.topologies import family_spec
+from repro.util import format_table
+from repro.workloads import all_reduce_time
+
+pytestmark = pytest.mark.slow
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+RATES = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+
+#: (workload key, params) -- the scenarios worth a committed curve.
+SCENARIOS = [
+    ("symmetric", {}),
+    ("hotspot", {"hot_fraction": 0.8}),
+    ("bursty", {"on": 8, "off": 24}),
+    ("scale_free", {"alpha": 1.5}),
+    ("all_reduce_ring", {}),
+]
+
+
+def _curve(key: str, params: dict) -> dict:
+    machine = family_spec("mesh_2").build_with_size(64)
+    points = saturation_sweep(
+        machine, rates=RATES, duration=96, seed=0,
+        workload=key, workload_params=params or None,
+    )
+    return {
+        "workload": key,
+        "params": params,
+        "family": "mesh_2",
+        "n": machine.num_nodes,
+        "points": [
+            {
+                "offered_rate": p.offered_rate,
+                "delivered_rate": p.delivered_rate,
+                "mean_latency": p.mean_latency,
+            }
+            for p in points
+        ],
+    }
+
+
+def _collectives() -> list[dict]:
+    machine = family_spec("fat_tree").build_with_size(36)
+    return [all_reduce_time(machine, kind) for kind in ("ring", "tree")]
+
+
+def test_workload_saturation_curves(benchmark):
+    curves = benchmark.pedantic(
+        lambda: [_curve(k, p) for k, p in SCENARIOS], rounds=1, iterations=1
+    )
+    collectives = _collectives()
+
+    by_key = {c["workload"]: c for c in curves}
+    plateau = {
+        k: max(p["delivered_rate"] for p in c["points"])
+        for k, c in by_key.items()
+    }
+    # One overloaded destination serializes: the hotspot plateau must sit
+    # well under the symmetric one.
+    assert plateau["hotspot"] < 0.7 * plateau["symmetric"], plateau
+    # A 25% duty cycle cannot deliver the always-on plateau.
+    assert plateau["bursty"] < 0.7 * plateau["symmetric"], plateau
+    # Per-phase parallelism: every ring phase moves n messages, tree
+    # phases move at most n/2 -- ring finishes more work per tick.
+    ring, tree = collectives
+    assert ring["messages_per_tick"] > tree["messages_per_tick"], collectives
+
+    # Merge-write: the engine benches own the other keys of this file.
+    payload = {}
+    if _JSON_PATH.exists():
+        payload = json.loads(_JSON_PATH.read_text())
+    payload.update({"workloads": {"curves": curves, "collectives": collectives}})
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        (
+            c["workload"],
+            f"{p['offered_rate']:5.2f}",
+            f"{p['delivered_rate']:8.2f}",
+            f"{p['mean_latency']:8.1f}",
+        )
+        for c in curves
+        for p in c["points"]
+    ]
+    emit(
+        format_table(
+            ["workload", "offered r", "delivered/tick", "mean latency"],
+            rows,
+            title="Workload saturation on mesh_2 n=64 (BENCH_routing.json)",
+        )
+    )
+    emit(
+        format_table(
+            ["collective", "phases", "msgs", "ticks", "msgs/tick"],
+            [
+                (
+                    c["kind"],
+                    c["num_phases"],
+                    c["num_messages"],
+                    c["total_time"],
+                    f"{c['messages_per_tick']:6.2f}",
+                )
+                for c in collectives
+            ],
+            title="All-reduce on fat_tree n=36 (pipelined phases)",
+        )
+    )

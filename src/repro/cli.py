@@ -9,6 +9,7 @@ Commands:
 * ``emulate``     -- run a guest-on-host emulation and report slowdown;
 * ``catalog``     -- print the full guest x host maximum-host-size matrix;
 * ``families``    -- list every registered machine family;
+* ``workloads``   -- list every registered traffic scenario;
 * ``sweep``       -- run a cached (optionally parallel) parameter sweep;
 * ``fabric``      -- run a sweep on the leased work-queue fabric
   (crash-tolerant workers, resumable queue; see docs/FABRIC.md);
@@ -63,6 +64,35 @@ def _family(key: str):
         raise SystemExit(f"error: {exc.args[0]}") from None
 
 
+def _workload(key: str):
+    """``workload_spec`` with CLI-friendly failure: clean message, exit 1."""
+    from repro.workloads import workload_spec
+
+    try:
+        return workload_spec(key)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+def _cli_workload(args, n: int):
+    """``--workload``/``--workload-param`` -> a built Workload, or None."""
+    key = getattr(args, "workload", None)
+    raw = dict(
+        _parse_kv(item, "--workload-param")
+        for item in getattr(args, "workload_param", None) or []
+    )
+    params = {k: _parse_scalar(v) for k, v in raw.items()}
+    if key is None:
+        if params:
+            raise SystemExit("--workload-param given without --workload")
+        return None
+    spec = _workload(key)
+    try:
+        return spec.build_with_size(n, **params)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 @contextlib.contextmanager
 def _traced(args, root: str):
     """Run a command body under ``--trace FILE`` with one root span.
@@ -90,6 +120,18 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="record a span trace (JSON lines) of this run to FILE",
+    )
+
+
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", default=None, metavar="KEY",
+        help="traffic scenario key (list them: 'python -m repro workloads')",
+    )
+    parser.add_argument(
+        "--workload-param", action="append", dest="workload_param",
+        metavar="KEY=VALUE",
+        help="scenario parameter override, e.g. hot_fraction=0.7 (repeatable)",
     )
 
 
@@ -170,15 +212,18 @@ def _cmd_figure1(args) -> int:
 def _cmd_bandwidth(args) -> int:
     with _traced(args, "cli.bandwidth"):
         machine = _family(args.family).build_with_size(args.size)
+        workload = _cli_workload(args, machine.num_nodes)
         br = beta_bracket(machine)
-        meas = measure_bandwidth(machine, seed=args.seed, engine=args.engine)
+        meas = measure_bandwidth(
+            machine, seed=args.seed, engine=args.engine, workload=workload
+        )
         rep = None
         if args.replicates > 1:
             rep = replicate(
                 lambda seeds: [
                     m.rate
                     for m in measure_bandwidth_many(
-                        machine, seeds, engine=args.engine
+                        machine, seeds, engine=args.engine, workload=workload
                     )
                 ],
                 num_seeds=args.replicates,
@@ -186,6 +231,8 @@ def _cmd_bandwidth(args) -> int:
                 batch=True,
             )
     print(f"machine: {machine!r} [engine={args.engine}]")
+    if workload is not None:
+        print(f"workload: {workload!r}")
     print(f"closed form beta:  {beta_value(args.family, machine.num_nodes):.2f} "
           f"(Theta({family_spec(args.family).beta}))")
     print(f"certified bracket: [{br.lower:.2f}, {br.upper:.2f}]")
@@ -201,13 +248,18 @@ def _cmd_bandwidth(args) -> int:
 def _cmd_saturation(args) -> int:
     with _traced(args, "cli.saturation"):
         machine = _family(args.family).build_with_size(args.size)
+        workload = _cli_workload(args, machine.num_nodes)
         points = saturation_sweep(
             machine,
             rates=args.rates or None,
             duration=args.duration,
             seed=args.seed,
             engine=args.engine,
+            workload=workload,
         )
+    title = f"Offered-load sweep: {machine!r} [engine={args.engine}]"
+    if workload is not None:
+        title += f" [workload={workload.key}]"
     print(
         format_table(
             ["offered r", "delivered/tick", "mean latency", "p99", "max queue"],
@@ -221,7 +273,7 @@ def _cmd_saturation(args) -> int:
                 )
                 for p in points
             ],
-            title=f"Offered-load sweep: {machine!r} [engine={args.engine}]",
+            title=title,
         )
     )
     return 0
@@ -249,16 +301,45 @@ def _cmd_catalog(args) -> int:
     keys = list(args.families) or list(DEFAULT_CATALOG_KEYS)
     for key in keys:
         _family(key)
+    workload = args.workload
+    if workload is not None:
+        _workload(workload)
     if args.json:
         from repro.service.serializers import catalog_cells, catalog_payload
 
-        payload = catalog_payload(keys, keys, catalog_cells(keys, keys))
+        payload = catalog_payload(
+            keys, keys, catalog_cells(keys, keys, workload=workload),
+            workload=workload,
+        )
         print(json.dumps(payload, indent=2))
         return 0
-    entries = full_catalog(guests=keys, hosts=keys)
+    entries = full_catalog(guests=keys, hosts=keys, workload=workload)
     cells = {(e.guest_key, e.host_key): str(e.bound.expr) for e in entries}
     rows = [[g] + [cells[(g, h)] for h in keys] for g in keys]
-    print(format_table(["guest \\ host"] + keys, rows))
+    title = f"workload: {workload}" if workload else None
+    print(format_table(["guest \\ host"] + keys, rows, title=title))
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    if args.json:
+        from repro.service.serializers import workloads_payload
+
+        print(json.dumps(workloads_payload(), indent=2))
+        return 0
+    from repro.workloads import WORKLOADS
+
+    rows = []
+    for key in sorted(WORKLOADS):
+        spec = WORKLOADS[key]
+        params = ", ".join(f"{p.name}={p.default}" for p in spec.params)
+        klass = (
+            "collective" if spec.collective
+            else "quasi-symmetric" if spec.quasi_symmetric
+            else "adversarial"
+        )
+        rows.append((key, spec.display, params, klass, spec.requires))
+    print(format_table(["key", "name", "params", "class", "requires"], rows))
     return 0
 
 
@@ -562,6 +643,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable output (same shape as GET /v1/families)",
     )
     fam.set_defaults(fn=_cmd_families)
+
+    wl = sub.add_parser("workloads", help="list traffic scenarios")
+    wl.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (same shape as GET /v1/workloads)",
+    )
+    wl.set_defaults(fn=_cmd_workloads)
+
     sub.add_parser("tables", help="print Tables 1-4").set_defaults(fn=_cmd_tables)
 
     f1 = sub.add_parser("figure1", help="print Figure-1 series")
@@ -588,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator engine (all give identical results; "
         "see docs/PERFORMANCE.md for when each wins)",
     )
+    _add_workload_flags(bw)
     _add_trace_flag(bw)
     bw.set_defaults(fn=_cmd_bandwidth)
 
@@ -606,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator engine (all give identical results; "
         "see docs/PERFORMANCE.md for when each wins)",
     )
+    _add_workload_flags(sat)
     _add_trace_flag(sat)
     sat.set_defaults(fn=_cmd_saturation)
 
@@ -624,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument(
         "--json", action="store_true",
         help="machine-readable output (same shape as GET /v1/catalog)",
+    )
+    cat.add_argument(
+        "--workload", default=None, metavar="KEY",
+        help="compute the matrix under a traffic scenario (non-quasi-"
+        "symmetric scenarios relax every cell to the trivial O(n) cap)",
     )
     cat.set_defaults(fn=_cmd_catalog)
 
@@ -806,7 +902,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Start a long-lived ThreadingHTTPServer exposing the core "
             "queries as JSON endpoints (/healthz, /metrics, /v1/families, "
-            "/v1/bandwidth, /v1/catalog, /v1/emulate, /v1/saturation). "
+            "/v1/workloads, /v1/bandwidth, /v1/catalog, /v1/emulate, "
+            "/v1/saturation). "
             "Responses are served through an in-process LRU+TTL cache "
             "backed by the sweep-harness result store when --store is "
             "given; SIGTERM/SIGINT drain in-flight requests before exit. "

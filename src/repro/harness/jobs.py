@@ -43,6 +43,7 @@ BUILTIN_JOBS: dict[str, str] = {
     "saturation_sweep": "repro.routing.saturation:saturation_sweep_job",
     "catalog_cell": "repro.theory.catalog:catalog_cell_job",
     "emulate": "repro.emulation.emulator:emulate_job",
+    "all_reduce_time": "repro.workloads.collective:all_reduce_time_job",
 }
 
 

@@ -60,6 +60,8 @@ def measure_bandwidth(
     policy: str = "farthest",
     seed: int | np.random.Generator | None = None,
     engine: str = "fast",
+    workload=None,
+    workload_params: dict | None = None,
 ) -> BandwidthMeasurement:
     """Estimate the operational bandwidth of ``machine`` under ``traffic``.
 
@@ -69,10 +71,14 @@ def measure_bandwidth(
     laptop-fast.  ``engine`` selects the simulator implementation
     (any of ``"fast"``, ``"reference"``, ``"event"``, ``"compiled"``,
     ``"auto"``; all give identical results -- see docs/PERFORMANCE.md
-    for when each wins).
+    for when each wins).  ``workload`` names a registered scenario (a
+    :mod:`repro.workloads` key or built ``Workload``) as an alternative
+    to passing ``traffic`` directly; the two are mutually exclusive.
     """
     rng = rng_from_seed(seed)
-    traffic, num_messages = _validated(machine, traffic, num_messages, strategy)
+    traffic, num_messages = _validated(
+        machine, traffic, num_messages, strategy, workload, workload_params
+    )
 
     with obs.span(
         "measure_bandwidth",
@@ -105,11 +111,20 @@ def measure_bandwidth(
     )
 
 
-def _validated(machine, traffic, num_messages, strategy):
+def _validated(machine, traffic, num_messages, strategy, workload=None,
+               workload_params=None):
     """Shared front half of the single and batched measurements."""
     if strategy not in _STRATEGIES:
         raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
     n = machine.num_nodes
+    if workload is not None:
+        if traffic is not None:
+            raise ValueError("pass either traffic or workload, not both")
+        from repro.workloads.registry import resolve_workload
+
+        traffic = resolve_workload(workload, n, workload_params).traffic
+    elif workload_params:
+        raise ValueError("workload params given without a workload key")
     if traffic is None:
         traffic = symmetric_traffic(n)
     if traffic.n != n:
@@ -130,6 +145,8 @@ def measure_bandwidth_many(
     strategy: str = "shortest",
     policy: str = "farthest",
     engine: str = "fast",
+    workload=None,
+    workload_params: dict | None = None,
 ) -> list[BandwidthMeasurement]:
     """Batched :func:`measure_bandwidth` across many seeds.
 
@@ -141,7 +158,9 @@ def measure_bandwidth_many(
     tick loop (:meth:`RoutingSimulator.route_batch`), so an 8-seed
     replication costs far less than 8 sequential measurements.
     """
-    traffic, num_messages = _validated(machine, traffic, num_messages, strategy)
+    traffic, num_messages = _validated(
+        machine, traffic, num_messages, strategy, workload, workload_params
+    )
     with obs.span(
         "measure_bandwidth.many",
         machine=machine.name,
@@ -188,8 +207,11 @@ def measure_bandwidth_job(spec: dict) -> dict:
     :mod:`repro.harness.jobs`): ``family`` is required; ``size`` (256),
     ``strategy`` (``"shortest"``), ``policy`` (``"farthest"``),
     ``num_messages`` (the ``8n`` default), ``seed`` (0) and ``engine``
-    (``"fast"``) are optional.  Returns a JSON-serializable dict; given
-    the same spec the values are bit-identical in any process.
+    (``"fast"``) are optional, as are ``workload`` (a scenario key,
+    default symmetric) and ``workload_params`` -- both omitted from the
+    spec (and hence the content hash) when unused, so pre-workload cache
+    entries stay valid.  Returns a JSON-serializable dict; given the
+    same spec the values are bit-identical in any process.
     """
     from repro.topologies.registry import family_spec
 
@@ -201,8 +223,10 @@ def measure_bandwidth_job(spec: dict) -> dict:
         policy=spec.get("policy", "farthest"),
         seed=int(spec.get("seed", 0)),
         engine=spec.get("engine", "fast"),
+        workload=spec.get("workload"),
+        workload_params=spec.get("workload_params"),
     )
-    return {
+    out = {
         "family": spec["family"],
         "machine": meas.machine_name,
         "n": machine.num_nodes,
@@ -213,6 +237,10 @@ def measure_bandwidth_job(spec: dict) -> dict:
         "max_edge_traffic": meas.max_edge_traffic,
         "mean_latency": meas.mean_latency,
     }
+    if spec.get("workload") is not None:
+        out["workload"] = spec["workload"]
+        out["traffic"] = meas.traffic_name
+    return out
 
 
 def measure_bandwidth_batch_job(spec: dict) -> dict:
@@ -241,13 +269,15 @@ def measure_bandwidth_batch_job(spec: dict) -> dict:
         strategy=spec.get("strategy", "shortest"),
         policy=spec.get("policy", "farthest"),
         engine=spec.get("engine", "fast"),
+        workload=spec.get("workload"),
+        workload_params=spec.get("workload_params"),
     )
     if int(spec.get("batch", 1)):
         many = measure_bandwidth_many(machine, seeds, **kwargs)
     else:
         many = [measure_bandwidth(machine, seed=s, **kwargs) for s in seeds]
     rep = Replication(values=tuple(m.rate for m in many))
-    return {
+    out = {
         "family": spec["family"],
         "machine": many[0].machine_name,
         "n": machine.num_nodes,
@@ -264,3 +294,7 @@ def measure_bandwidth_batch_job(spec: dict) -> dict:
         "rate_min": rep.min,
         "rate_max": rep.max,
     }
+    if spec.get("workload") is not None:
+        out["workload"] = spec["workload"]
+        out["traffic"] = many[0].traffic_name
+    return out

@@ -57,6 +57,8 @@ def saturation_sweep(
     policy: str = "fifo",
     seed: int | np.random.Generator | None = None,
     engine: str = "fast",
+    workload=None,
+    workload_params: dict | None = None,
 ) -> list[SaturationPoint]:
     """Measure delivered rate and latency at each offered per-node rate.
 
@@ -77,10 +79,27 @@ def saturation_sweep(
     engine all rates are routed as **one batch** through the shared
     multi-run kernel; per-rate results are bit-identical to routing each
     rate alone.
+
+    ``workload`` names a registered scenario (a :mod:`repro.workloads`
+    key or built ``Workload``) instead of passing ``traffic`` directly;
+    a bursty workload additionally masks injection with its on-off gate
+    (applied *after* the Bernoulli draw, so the rng stream -- and hence
+    every non-gated run -- is byte-identical to the pre-workload code).
     """
     check_positive_int(duration, "duration")
     rng = rng_from_seed(seed)
     n = machine.num_nodes
+    gate_open = None
+    if workload is not None:
+        if traffic is not None:
+            raise ValueError("pass either traffic or workload, not both")
+        from repro.workloads.registry import resolve_workload
+
+        wl = resolve_workload(workload, n, workload_params)
+        traffic = wl.traffic
+        gate_open = wl.gate_open(duration)
+    elif workload_params:
+        raise ValueError("workload params given without a workload key")
     if traffic is None:
         traffic = symmetric_traffic(n)
     if rates is None:
@@ -96,6 +115,8 @@ def saturation_sweep(
             raise ValueError(f"rates must be in (0, 1], got {r}")
         # Bernoulli injection at each (node, tick).
         inject = rng.random((duration, n)) < r
+        if gate_open is not None:
+            inject &= gate_open[:, None]
         count = int(inject.sum())
         if count == 0:
             runs.append(None)
@@ -166,8 +187,11 @@ def saturation_sweep_job(spec: dict) -> dict:
     Registered as the ``saturation_sweep`` alias: ``family`` is
     required; ``size`` (64), ``rates`` (the default ladder),
     ``duration`` (128), ``policy`` (``"fifo"``), ``seed`` (0) and
-    ``engine`` (``"fast"``) are optional.  Each measured point becomes
-    one dict so the whole curve is a JSON value.
+    ``engine`` (``"fast"``) are optional, as are ``workload`` (scenario
+    key, default symmetric) and ``workload_params`` -- both omitted from
+    the spec (and hence the content hash) when unused, so pre-workload
+    cache entries stay valid.  Each measured point becomes one dict so
+    the whole curve is a JSON value.
     """
     from repro.topologies.registry import family_spec
 
@@ -179,8 +203,10 @@ def saturation_sweep_job(spec: dict) -> dict:
         policy=spec.get("policy", "fifo"),
         seed=int(spec.get("seed", 0)),
         engine=spec.get("engine", "fast"),
+        workload=spec.get("workload"),
+        workload_params=spec.get("workload_params"),
     )
-    return {
+    out = {
         "family": spec["family"],
         "machine": repr(machine),
         "n": machine.num_nodes,
@@ -195,3 +221,6 @@ def saturation_sweep_job(spec: dict) -> dict:
             for p in points
         ],
     }
+    if spec.get("workload") is not None:
+        out["workload"] = spec["workload"]
+    return out

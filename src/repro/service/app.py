@@ -12,6 +12,7 @@ Endpoints::
     GET  /metrics                 request counters, latency percentiles,
                                   cache hit/miss counters
     GET  /v1/families             the machine-family registry (Table 4)
+    GET  /v1/workloads            the traffic-scenario registry
     GET  /v1/bandwidth            measured operational bandwidth
     GET  /v1/catalog              guest x host max-host-size matrix
     POST /v1/emulate              run a guest-on-host emulation
@@ -53,56 +54,20 @@ from repro.obs import trace as obs
 from repro.service import serializers
 from repro.service.cache import SingleFlight, TTLCache
 from repro.service.metrics import ServiceMetrics
-from repro.service.schemas import MAX_MACHINE_SIZE, ApiError, Field, Schema
+from repro.service.schemas import (
+    BANDWIDTH_SCHEMA,
+    CATALOG_SCHEMA,
+    EMULATE_SCHEMA,
+    SATURATION_SCHEMA,
+    ApiError,
+    Schema,
+)
 
 __all__ = ["QueryService"]
-
-_MAX_SEED = 2**31 - 1
 
 # Reusable stand-in for trace_context when no trace id was generated
 # (nullcontext instances are reentrant and shareable).
 _NO_TRACE = contextlib.nullcontext()
-
-BANDWIDTH_SCHEMA = Schema(
-    Field("family", "family", required=True),
-    Field("size", "int", default=256, minimum=2, maximum=MAX_MACHINE_SIZE),
-    Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
-    Field("engine", "str", default="fast", choices=("fast", "reference")),
-    # replicates > 1 switches to the seed-replicated estimate (seeds
-    # seed, seed+1, ...); batch=0 opts out of the batched multi-run
-    # kernel (same values, slower -- an equivalence escape hatch).
-    Field("replicates", "int", default=1, minimum=1, maximum=64),
-    Field("batch", "int", default=1, minimum=0, maximum=1),
-)
-
-CATALOG_SCHEMA = Schema(
-    Field(
-        "guests", "family_list",
-        default=serializers.DEFAULT_CATALOG_KEYS, max_items=48,
-    ),
-    Field(
-        "hosts", "family_list",
-        default=serializers.DEFAULT_CATALOG_KEYS, max_items=48,
-    ),
-)
-
-EMULATE_SCHEMA = Schema(
-    Field("guest", "family", required=True),
-    Field("host", "family", required=True),
-    Field("guest_size", "int", default=256, minimum=4, maximum=MAX_MACHINE_SIZE),
-    Field("host_size", "int", default=64, minimum=2, maximum=MAX_MACHINE_SIZE),
-    Field("steps", "int", default=4, minimum=1, maximum=256),
-    Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
-)
-
-SATURATION_SCHEMA = Schema(
-    Field("family", "family", required=True),
-    Field("size", "int", default=64, minimum=2, maximum=1024),
-    Field("rates", "float_list", minimum=1e-6, maximum=1.0, max_items=64),
-    Field("duration", "int", default=128, minimum=1, maximum=4096),
-    Field("seed", "int", default=0, minimum=0, maximum=_MAX_SEED),
-    Field("engine", "str", default="fast", choices=("fast", "reference")),
-)
 
 
 class QueryService:
@@ -128,6 +93,7 @@ class QueryService:
             "/healthz": {"GET": (None, self._h_healthz)},
             "/metrics": {"GET": (None, self._h_metrics)},
             "/v1/families": {"GET": (None, self._h_families)},
+            "/v1/workloads": {"GET": (None, self._h_workloads)},
             "/v1/bandwidth": {"GET": (BANDWIDTH_SCHEMA, self._h_bandwidth)},
             "/v1/catalog": {"GET": (CATALOG_SCHEMA, self._h_catalog)},
             "/v1/emulate": {"POST": (EMULATE_SCHEMA, self._h_emulate)},
@@ -305,6 +271,9 @@ class QueryService:
     def _h_families(self, _params: dict) -> tuple[int, dict[str, Any]]:
         return 200, serializers.families_payload()
 
+    def _h_workloads(self, _params: dict) -> tuple[int, dict[str, Any]]:
+        return 200, serializers.workloads_payload()
+
     def _h_bandwidth(self, params: dict) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
         if params.get("replicates", 1) > 1:
@@ -326,16 +295,18 @@ class QueryService:
         t0 = time.perf_counter()
         tiers = {"snapshot": 0, "memory": 0, "store": 0, "miss": 0,
                  "coalesced": 0}
+        workload = params.get("workload")
         cells = []
         for guest in params["guests"]:
             for host in params["hosts"]:
-                value, tier = self._run_job(
-                    "catalog_cell", {"guest": guest, "host": host}
-                )
+                spec = {"guest": guest, "host": host}
+                if workload is not None:
+                    spec["workload"] = workload
+                value, tier = self._run_job("catalog_cell", spec)
                 tiers[tier] += 1
                 cells.append(value)
         payload = serializers.catalog_payload(
-            params["guests"], params["hosts"], cells
+            params["guests"], params["hosts"], cells, workload=workload
         )
         payload["meta"] = {
             "cache": tiers, "seconds": round(time.perf_counter() - t0, 6)

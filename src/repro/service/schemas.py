@@ -26,12 +26,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-__all__ = ["ApiError", "Field", "MAX_MACHINE_SIZE", "Schema"]
+__all__ = [
+    "ApiError",
+    "BANDWIDTH_SCHEMA",
+    "CATALOG_SCHEMA",
+    "EMULATE_SCHEMA",
+    "ENDPOINT_SCHEMAS",
+    "Field",
+    "MAX_MACHINE_SIZE",
+    "MAX_SEED",
+    "SATURATION_SCHEMA",
+    "Schema",
+]
 
 #: Largest machine any endpoint will build.  Dense next-hop tables are
 #: O(n^2) int32 (see docs/PERFORMANCE.md): ~200 MB at n=4096, which is
 #: the practical per-request ceiling for a shared server.
 MAX_MACHINE_SIZE = 4096
+
+#: Largest accepted seed (fits any 32-bit rng path).
+MAX_SEED = 2**31 - 1
 
 
 class ApiError(Exception):
@@ -54,12 +68,19 @@ def _known_families() -> list[str]:
     return sorted(FAMILIES)
 
 
+def _known_workloads() -> list[str]:
+    from repro.workloads.registry import WORKLOADS
+
+    return sorted(WORKLOADS)
+
+
 @dataclass(frozen=True)
 class Field:
     """One typed request parameter.
 
     ``kind`` is one of ``"int"``, ``"float"``, ``"str"``, ``"family"``
-    (a registry-checked family key), ``"family_list"`` or
+    (a registry-checked family key), ``"workload"`` (a registry-checked
+    traffic-scenario key), ``"family_list"`` or
     ``"float_list"`` (comma-separated in a query string, JSON arrays in
     a body).  ``minimum``/``maximum`` bound numbers (elementwise for
     lists); ``choices`` restricts strings; ``max_items`` bounds lists.
@@ -87,6 +108,8 @@ class Field:
             return self._str(value)
         if self.kind == "family":
             return self._family(value)
+        if self.kind == "workload":
+            return self._workload(value)
         if self.kind == "family_list":
             items = [self._family(v) for v in self._items(value)]
             return self._sized(items)
@@ -144,6 +167,20 @@ class Field:
                 "unknown_family",
                 f"unknown machine family {value!r}; "
                 f"known: {', '.join(_known_families())}",
+            )
+        return value
+
+    def _workload(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise self._bad_type(value, "a workload key")
+        from repro.workloads.registry import WORKLOADS
+
+        if value not in WORKLOADS:
+            raise ApiError(
+                404,
+                "unknown_workload",
+                f"unknown workload {value!r}; "
+                f"known: {', '.join(_known_workloads())}",
             )
         return value
 
@@ -233,3 +270,78 @@ class Schema:
                 continue
             out[name] = field.coerce(params[name])
         return out
+
+
+# -- endpoint schemas ---------------------------------------------------------
+#
+# Defined here (not in app.py) so they form a single machine-readable
+# registry: the fuzz suite walks ENDPOINT_SCHEMAS to generate both valid
+# and adversarial requests for every compute endpoint.
+
+
+def _default_catalog_keys() -> tuple[str, ...]:
+    from repro.service.serializers import DEFAULT_CATALOG_KEYS
+
+    return DEFAULT_CATALOG_KEYS
+
+
+BANDWIDTH_SCHEMA = Schema(
+    Field("family", "family", required=True),
+    Field("size", "int", default=256, minimum=2, maximum=MAX_MACHINE_SIZE),
+    Field("seed", "int", default=0, minimum=0, maximum=MAX_SEED),
+    Field("engine", "str", default="fast", choices=("fast", "reference")),
+    # replicates > 1 switches to the seed-replicated estimate (seeds
+    # seed, seed+1, ...); batch=0 opts out of the batched multi-run
+    # kernel (same values, slower -- an equivalence escape hatch).
+    Field("replicates", "int", default=1, minimum=1, maximum=64),
+    Field("batch", "int", default=1, minimum=0, maximum=1),
+    # No default: an absent workload key is absent from the job spec
+    # too, so pre-workload cache entries stay valid.
+    Field("workload", "workload"),
+)
+
+CATALOG_SCHEMA = Schema(
+    Field(
+        "guests", "family_list",
+        default=_default_catalog_keys(), max_items=48,
+    ),
+    Field(
+        "hosts", "family_list",
+        default=_default_catalog_keys(), max_items=48,
+    ),
+    Field("workload", "workload"),
+)
+
+EMULATE_SCHEMA = Schema(
+    Field("guest", "family", required=True),
+    Field("host", "family", required=True),
+    Field("guest_size", "int", default=256, minimum=4, maximum=MAX_MACHINE_SIZE),
+    Field("host_size", "int", default=64, minimum=2, maximum=MAX_MACHINE_SIZE),
+    Field("steps", "int", default=4, minimum=1, maximum=256),
+    Field("seed", "int", default=0, minimum=0, maximum=MAX_SEED),
+)
+
+SATURATION_SCHEMA = Schema(
+    Field("family", "family", required=True),
+    Field("size", "int", default=64, minimum=2, maximum=1024),
+    Field("rates", "float_list", minimum=1e-6, maximum=1.0, max_items=64),
+    Field("duration", "int", default=128, minimum=1, maximum=4096),
+    Field("seed", "int", default=0, minimum=0, maximum=MAX_SEED),
+    Field("engine", "str", default="fast", choices=("fast", "reference")),
+    Field("workload", "workload"),
+)
+
+#: Every route the service serves, with its request schema (``None`` for
+#: parameterless endpoints).  :class:`repro.service.app.QueryService`
+#: builds its dispatch table from handler names; this registry is the
+#: schema source of truth the fuzz tests generate requests from.
+ENDPOINT_SCHEMAS: dict[tuple[str, str], "Schema | None"] = {
+    ("GET", "/healthz"): None,
+    ("GET", "/metrics"): None,
+    ("GET", "/v1/families"): None,
+    ("GET", "/v1/workloads"): None,
+    ("GET", "/v1/bandwidth"): BANDWIDTH_SCHEMA,
+    ("GET", "/v1/catalog"): CATALOG_SCHEMA,
+    ("POST", "/v1/emulate"): EMULATE_SCHEMA,
+    ("POST", "/v1/saturation"): SATURATION_SCHEMA,
+}

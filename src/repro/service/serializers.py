@@ -23,6 +23,8 @@ __all__ = [
     "catalog_payload",
     "families_payload",
     "family_dict",
+    "workload_dict",
+    "workloads_payload",
 ]
 
 #: The representative guest/host subset the CLI and service default to
@@ -54,17 +56,65 @@ def families_payload() -> dict[str, Any]:
     return {"count": len(families), "families": families}
 
 
-def catalog_cells(guests: list[str], hosts: list[str]) -> list[dict[str, Any]]:
+def workload_dict(spec: Any) -> dict[str, Any]:
+    """One workload-registry entry as a JSON object."""
+    return {
+        "key": spec.key,
+        "display": spec.display,
+        "params": [
+            {
+                "name": p.name,
+                "kind": p.kind,
+                "default": p.default,
+                "minimum": p.minimum,
+                "maximum": p.maximum,
+            }
+            for p in spec.params
+        ],
+        "quasi_symmetric": spec.quasi_symmetric,
+        "collective": spec.collective,
+        "requires": spec.requires,
+        "notes": spec.notes,
+    }
+
+
+def workloads_payload() -> dict[str, Any]:
+    """The full workload registry: ``{"count": N, "workloads": [...]}``."""
+    from repro.workloads.registry import WORKLOADS
+
+    workloads = [workload_dict(WORKLOADS[key]) for key in sorted(WORKLOADS)]
+    return {"count": len(workloads), "workloads": workloads}
+
+
+def catalog_cells(
+    guests: list[str], hosts: list[str], workload: str | None = None
+) -> list[dict[str, Any]]:
     """Every (guest, host) cell dict, computed directly (uncached path)."""
     from repro.theory.catalog import catalog_cell_job
 
+    spec: dict[str, Any] = {}
+    if workload is not None:
+        spec["workload"] = workload
     return [
-        catalog_cell_job({"guest": g, "host": h}) for g in guests for h in hosts
+        catalog_cell_job({"guest": g, "host": h, **spec})
+        for g in guests
+        for h in hosts
     ]
 
 
 def catalog_payload(
-    guests: list[str], hosts: list[str], cells: list[dict[str, Any]]
+    guests: list[str],
+    hosts: list[str],
+    cells: list[dict[str, Any]],
+    workload: str | None = None,
 ) -> dict[str, Any]:
-    """The catalog envelope; ``cells`` iterate hosts fastest, like rows."""
-    return {"guests": list(guests), "hosts": list(hosts), "cells": cells}
+    """The catalog envelope; ``cells`` iterate hosts fastest, like rows.
+
+    ``workload`` (when set) is echoed so clients can tell which scenario
+    the cells were computed under; absent for the default symmetric
+    catalogue, keeping the pre-workload payload byte-identical.
+    """
+    payload = {"guests": list(guests), "hosts": list(hosts), "cells": cells}
+    if workload is not None:
+        payload["workload"] = workload
+    return payload

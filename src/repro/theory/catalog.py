@@ -24,6 +24,7 @@ __all__ = [
     "catalog_cell_job",
     "catalog_consistency_violations",
     "full_catalog",
+    "workload_cell_bound",
 ]
 
 
@@ -32,18 +33,51 @@ class CatalogEntry:
     guest_key: str
     host_key: str
     bound: Bound
+    workload_key: str | None = None
+
+
+def workload_cell_bound(guest_key: str, host_key: str, workload_key: str) -> Bound:
+    """Maximum-host-size bound for a (guest, host) pair under a named
+    workload.
+
+    The paper's slowdown lower bounds hold for *quasi-symmetric* traffic
+    (Omega(n^2) equally-likely pairs).  For a quasi-symmetric workload
+    the symmetric-traffic cell applies verbatim.  For anything else
+    (hot-spot, permutations, collectives, ...) the bandwidth obstruction
+    is not proven, so the only safe statement is the trivial cap
+    ``O(n)`` -- the host may be as large as the guest, and the framework
+    makes no claim beyond that.
+    """
+    from repro.asymptotics import BigO
+    from repro.workloads.registry import workload_spec
+
+    if workload_spec(workload_key).quasi_symmetric:
+        return max_host_size(guest_key, host_key)
+    return BigO(LogPoly.n())
 
 
 def full_catalog(
-    guests: list[str] | None = None, hosts: list[str] | None = None
+    guests: list[str] | None = None,
+    hosts: list[str] | None = None,
+    workload: str | None = None,
 ) -> list[CatalogEntry]:
-    """Every (guest, host) maximum-host-size bound."""
+    """Every (guest, host) maximum-host-size bound.
+
+    With ``workload`` set, every cell is computed under that scenario
+    (see :func:`workload_cell_bound`); default is the symmetric-traffic
+    catalogue of Tables 1-3.
+    """
     guests = guests or sorted(FAMILIES)
     hosts = hosts or sorted(FAMILIES)
     out = []
     for g in guests:
         for h in hosts:
-            out.append(CatalogEntry(g, h, max_host_size(g, h)))
+            bound = (
+                workload_cell_bound(g, h, workload)
+                if workload is not None
+                else max_host_size(g, h)
+            )
+            out.append(CatalogEntry(g, h, bound, workload_key=workload))
     return out
 
 
@@ -51,18 +85,40 @@ def catalog_cell_job(spec: dict) -> dict:
     """Harness job entry point for one catalog cell.
 
     Registered as the ``catalog_cell`` alias: ``guest`` and ``host`` are
-    family keys.  The symbolic bound is returned rendered (``expr`` is
-    the bare LogPoly, ``bound`` includes the Theta/O/Omega symbol) so
-    the value is a stable JSON cell for the store.
+    family keys; ``workload`` (optional, omitted from the spec and the
+    content hash when unused) names a traffic scenario, relaxing the
+    cell when the scenario is not quasi-symmetric.  The symbolic bound
+    is returned rendered (``expr`` is the bare LogPoly, ``bound``
+    includes the Theta/O/Omega symbol) so the value is a stable JSON
+    cell for the store.
     """
-    bound = max_host_size(spec["guest"], spec["host"])
-    return {
+    workload = spec.get("workload")
+    if workload is None:
+        bound = max_host_size(spec["guest"], spec["host"])
+    else:
+        bound = workload_cell_bound(spec["guest"], spec["host"], workload)
+    out = {
         "guest": spec["guest"],
         "host": spec["host"],
         "expr": str(bound.expr),
         "bound": str(bound),
         "kind": bound.kind,
     }
+    if workload is not None:
+        from repro.workloads.registry import workload_spec
+
+        qs = workload_spec(workload).quasi_symmetric
+        out["workload"] = workload
+        out["workload_class"] = (
+            "quasi_symmetric" if qs else "non_quasi_symmetric"
+        )
+        out["note"] = (
+            "quasi-symmetric: the paper's lower bound applies verbatim"
+            if qs
+            else "not quasi-symmetric: the bandwidth obstruction is not "
+            "proven; only the trivial O(n) cap remains"
+        )
+    return out
 
 
 def catalog_consistency_violations(

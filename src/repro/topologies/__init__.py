@@ -6,6 +6,7 @@ size (``family_spec("mesh_2").build_with_size(4096)``).
 """
 
 from repro.topologies.base import Machine
+from repro.topologies.clos import build_dragonfly, build_fat_tree
 from repro.topologies.hierarchical import (
     build_mesh_of_trees,
     build_multigrid,
@@ -43,7 +44,9 @@ __all__ = [
     "build_butterfly",
     "build_ccc",
     "build_de_bruijn",
+    "build_dragonfly",
     "build_expander",
+    "build_fat_tree",
     "build_global_bus",
     "build_hypercube",
     "build_linear_array",

@@ -1,0 +1,91 @@
+"""Modern datacenter fabrics: k-ary fat-tree (folded Clos) and dragonfly.
+
+Neither appears in the paper (both post-date it), but both are
+fixed-connection networks in exactly the paper's model, so the bandwidth
+framework applies verbatim.  Their registry ``beta`` is bisection-derived:
+
+* **fat-tree** (Al-Fares-style 3-level folded Clos): ``(k/2)^2`` core
+  switches, ``k`` pods of ``k`` switches, ``k^3/4`` hosts.  Every level
+  carries ``k^3/4`` links, so the bisection is ``Theta(n)`` and
+  ``beta = Theta(n)`` -- hypercube-class bandwidth from bounded-radix
+  switches, which is the whole point of the topology.
+* **dragonfly** (Kim-Dally, one global link per router): ``g = a + 1``
+  groups of ``a`` fully-meshed routers, one global link between every
+  group pair.  ``g^2/4 = Theta(n)`` global links cross any balanced
+  group bisection, so again ``beta = Theta(n)``.
+
+Both diameters are ``Theta(1)`` (6 and 3 hops respectively), so the
+minimal computation time ``delta`` is ``Theta(1)`` like the global bus.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topologies.base import Machine
+from repro.util import check_positive_int
+
+__all__ = ["build_dragonfly", "build_fat_tree", "dragonfly_nodes", "fat_tree_nodes"]
+
+
+def fat_tree_nodes(k: int) -> int:
+    """Processor count of the k-ary fat-tree: hosts + pod + core switches."""
+    return k**3 // 4 + k**2 + (k // 2) ** 2
+
+
+def build_fat_tree(k: int) -> Machine:
+    """3-level k-ary fat-tree (folded Clos) with ``k^3/4`` hosts.
+
+    ``k`` (even) is the switch radix: ``(k/2)^2`` core switches, ``k``
+    pods of ``k/2`` aggregation + ``k/2`` edge switches, and ``k/2``
+    hosts per edge switch.  Aggregation switch ``i`` of every pod uplinks
+    to cores ``i*k/2 .. (i+1)*k/2 - 1``; switches and hosts are all
+    processors (every vertex computes and forwards, as in the paper's
+    machine model).
+    """
+    check_positive_int(k, "k", minimum=2)
+    if k % 2:
+        raise ValueError(f"fat-tree radix k must be even, got {k}")
+    half = k // 2
+    g = nx.Graph()
+    for pod in range(k):
+        for e in range(half):
+            edge = ("E", pod, e)
+            for h in range(half):
+                g.add_edge(("H", pod, e, h), edge)
+            for a in range(half):
+                g.add_edge(edge, ("A", pod, a))
+        for a in range(half):
+            for c in range(half):
+                g.add_edge(("A", pod, a), ("C", a * half + c))
+    return Machine(g, family="fat_tree", params={"k": k})
+
+
+def dragonfly_nodes(a: int) -> int:
+    """Processor count of the dragonfly with group size ``a``."""
+    return a * (a + 1)
+
+
+def build_dragonfly(a: int) -> Machine:
+    """Dragonfly with ``a`` routers per group and one global link each.
+
+    ``g = a + 1`` fully-meshed groups; router ``j`` of group ``i``
+    carries the single global link toward group ``j`` (skipping ``i``
+    itself), which gives every unordered group pair exactly one global
+    link and every router exactly one global port -- the canonical
+    ``h = 1`` balanced dragonfly.
+    """
+    check_positive_int(a, "a", minimum=2)
+    groups = a + 1
+    g = nx.Graph()
+    for i in range(groups):
+        for j in range(a):
+            for j2 in range(j + 1, a):
+                g.add_edge((i, j), (i, j2))
+    for i in range(groups):
+        for j in range(a):
+            target = j if j < i else j + 1
+            if target > i:  # add each global link once, from the lower group
+                back = i if i < target else i - 1
+                g.add_edge((i, j), (target, back))
+    return Machine(g, family="dragonfly", params={"a": a})

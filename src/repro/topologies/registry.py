@@ -22,6 +22,12 @@ from typing import Callable
 
 from repro.asymptotics import LogPoly
 from repro.topologies.base import Machine
+from repro.topologies.clos import (
+    build_dragonfly,
+    build_fat_tree,
+    dragonfly_nodes,
+    fat_tree_nodes,
+)
 from repro.topologies.hierarchical import (
     build_mesh_of_trees,
     build_multigrid,
@@ -201,6 +207,15 @@ def _b_expander(n, seed=None, degree=4, **kw):
     return build_expander(n, degree=degree, seed=seed)
 
 
+def _b_fat_tree(n, **kw):
+    # radix k = 2r, the even radix whose node count lands nearest n
+    return build_fat_tree(2 * _order_near(n, lambda r: fat_tree_nodes(2 * r)))
+
+
+def _b_dragonfly(n, **kw):
+    return build_dragonfly(_order_near(n, dragonfly_nodes, lo=2))
+
+
 def _b_mbf(n, seed=None, multiplicity=2, **kw):
     return build_multibutterfly(
         _order_near(n, lambda r: (r + 1) * 2**r), multiplicity=multiplicity, seed=seed
@@ -368,6 +383,33 @@ def _make_families() -> dict[str, FamilySpec]:
             LG,
             fixed_degree=False,
             notes="strong hypercube: all wires usable; beta = Theta(n)",
+        )
+    )
+    # Modern datacenter fabrics (post-paper; see topologies/clos.py).
+    # Both are engineered for full bisection, so their bisection-derived
+    # beta is Theta(n) -- hypercube-class -- at Theta(1) diameter.
+    add(
+        FamilySpec(
+            "fat_tree",
+            "Fat-Tree",
+            _b_fat_tree,
+            N,
+            ONE,
+            fixed_degree=False,
+            notes="3-level k-ary folded Clos; full bisection gives "
+            "beta = Theta(n)",
+        )
+    )
+    add(
+        FamilySpec(
+            "dragonfly",
+            "Dragonfly",
+            _b_dragonfly,
+            N,
+            ONE,
+            fixed_degree=False,
+            notes="fully-meshed groups, one global link per group pair; "
+            "group bisection gives beta = Theta(n)",
         )
     )
     return fams

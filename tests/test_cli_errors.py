@@ -50,6 +50,70 @@ class TestUnknownFamilyErrors:
         assert "measured rate" in capsys.readouterr().out
 
 
+def _assert_clean_workload_error(argv: list[str]) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    message = str(excinfo.value)
+    assert message.startswith("error: unknown workload")
+    assert "nosuch" in message
+    assert "symmetric" in message  # lists the known keys
+    assert "Traceback" not in message
+
+
+class TestUnknownWorkloadErrors:
+    """``--workload`` mirrors the unknown-family contract: one clean
+    ``error: ...`` line naming the known keys, never a KeyError."""
+
+    def test_bandwidth(self):
+        _assert_clean_workload_error(
+            ["bandwidth", "mesh_2", "--size", "16", "--workload", "nosuch"]
+        )
+
+    def test_saturation(self):
+        _assert_clean_workload_error(
+            ["saturation", "mesh_2", "--size", "16", "--workload", "nosuch"]
+        )
+
+    def test_catalog(self):
+        _assert_clean_workload_error(
+            ["catalog", "mesh_2", "tree", "--workload", "nosuch"]
+        )
+
+    def test_bad_param_value_is_clean(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["saturation", "mesh_2", "--size", "16",
+                  "--workload", "bursty", "--workload-param", "on=0"])
+        message = str(excinfo.value)
+        assert message.startswith("error:")
+        assert "'on' must be >= 1" in message
+
+    def test_unknown_param_name_is_clean(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bandwidth", "mesh_2", "--size", "16",
+                  "--workload", "hotspot", "--workload-param", "heat=2"])
+        message = str(excinfo.value)
+        assert message.startswith("error:")
+        assert "accepted" in message
+
+    def test_param_without_workload_is_clean(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bandwidth", "mesh_2", "--size", "16",
+                  "--workload-param", "on=4"])
+        assert "--workload-param given without --workload" in str(excinfo.value)
+
+    def test_known_workload_still_works(self, capsys):
+        assert main(["bandwidth", "mesh_2", "--size", "16",
+                     "--workload", "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "measured rate" in out
+        assert "hotspot" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot" in out and "all_reduce_ring" in out
+
+
 class TestEngineUnavailableErrors:
     """``--engine compiled`` on a host without a provider must fail with
     the same one-line ``error: ...`` shape as unknown families -- not a

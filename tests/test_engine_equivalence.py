@@ -36,8 +36,10 @@ from repro.routing import (
 from repro.routing import compiled as compiled_backend
 from repro.routing import kernel_py
 from repro.routing.compiled import route_compiled
+from repro.routing.saturation import saturation_sweep
 from repro.topologies import all_family_keys, build_mesh, build_ring, family_spec
 from repro.traffic import symmetric_traffic
+from repro.workloads import all_reduce_schedule, all_workload_keys, build_workload
 
 POLICIES = ("fifo", "farthest")
 PORT_LIMITS = (None, 1)
@@ -287,6 +289,57 @@ class TestCompiledFallback:
         auto = RoutingSimulator(machine, engine="auto").route(its)
         ref = RoutingSimulator(machine, engine="reference").route(its)
         _assert_same(ref, auto, "auto-fallback")
+
+
+class TestWorkloadEquivalence:
+    """Every registered workload scenario is bit-identical across engines.
+
+    n=16 is square *and* a power of two, so every structural scenario
+    (transpose, bit_reversal) builds; mesh_2 keeps paths long enough to
+    force real contention under the adversarial patterns.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("key", all_workload_keys())
+    def test_every_workload_agrees(self, key, policy):
+        machine = family_spec("mesh_2").build_with_size(16)
+        wl = build_workload(key, 16)
+        msgs = wl.traffic.sample_messages(64, seed=3)
+        assert_engines_agree(machine, [[s, d] for s, d in msgs], policy=policy)
+
+    @pytest.mark.parametrize("key", ("fat_tree", "dragonfly"))
+    def test_new_fabrics_under_adversarial_traffic(self, key):
+        machine = family_spec(key).build_with_size(36)
+        n = machine.num_nodes
+        wl = build_workload("hotspot", n, hot_fraction=0.9)
+        msgs = wl.traffic.sample_messages(4 * n, seed=1)
+        assert_engines_agree(machine, [[s, d] for s, d in msgs])
+
+    @pytest.mark.parametrize("kind", ("ring", "tree"))
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_collective_schedules_agree(self, kind, policy):
+        """The full phased all-reduce schedule, released phase by phase
+        (the open-loop shape all_reduce_time routes)."""
+        machine = family_spec("mesh_2").build_with_size(16)
+        its, rel = [], []
+        for phase, pairs in enumerate(all_reduce_schedule(16, kind)):
+            its.extend([s, d] for s, d in pairs)
+            rel.extend([phase] * len(pairs))
+        assert_engines_agree(machine, its, release_times=rel, policy=policy)
+
+    def test_bursty_saturation_identical_across_engines(self):
+        """The gated open-loop path (workload threading inside
+        saturation_sweep itself) must not depend on the engine."""
+        machine = family_spec("mesh_2").build_with_size(16)
+        runs = [
+            saturation_sweep(
+                machine, rates=[0.4, 0.9], duration=64, seed=2,
+                engine=engine, workload="bursty",
+                workload_params={"on": 8, "off": 8},
+            )
+            for engine in ("fast", "reference", "event")
+        ]
+        assert runs[0] == runs[1] == runs[2]
 
 
 class TestAutoHeuristic:
