@@ -74,6 +74,14 @@ def test_service_cold_warm_and_closed_loop(benchmark):
         assert server.drain(timeout=30.0)
         runner.join(timeout=10)
 
+    # bench_load.py records the offered-load frontier under
+    # "load_frontier" in the same file; a service re-run must not wipe it.
+    try:
+        previous = json.loads(_JSON_PATH.read_text())
+    except (OSError, ValueError):
+        previous = {}
+    if "load_frontier" in previous:
+        record["load_frontier"] = previous["load_frontier"]
     _JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
     emit(
         format_table(

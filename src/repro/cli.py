@@ -15,7 +15,10 @@ Commands:
   (crash-tolerant workers, resumable queue; see docs/FABRIC.md);
 * ``snapshot``    -- build/inspect a memory-mapped catalog snapshot the
   service mounts as its fastest cache tier (``serve --snapshot``);
-* ``serve``       -- run the long-lived JSON query service over HTTP;
+* ``serve``       -- run the long-lived JSON query service over HTTP
+  (``--workers N`` starts the pre-fork multi-process tier);
+* ``loadtest``    -- drive a running service with closed- or open-loop
+  synthetic load (see docs/LOADTEST.md);
 * ``trace``       -- aggregate a span trace file into a timing report;
 * ``reproduce``   -- run every experiment and write JSON artifacts.
 
@@ -585,9 +588,40 @@ def _cmd_snapshot_info(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.fabric.snapshot import SnapshotError
-    from repro.service.server import serve
 
+    if args.workers < 1:
+        raise SystemExit(f"error: --workers must be >= 1, got {args.workers}")
     try:
+        if args.workers > 1:
+            from repro.service.prefork import (
+                PreforkUnavailableError,
+                serve_prefork,
+            )
+
+            try:
+                return serve_prefork(
+                    host=args.host,
+                    port=args.port,
+                    workers=args.workers,
+                    store=args.store,
+                    cache_size=args.cache_size,
+                    ttl=args.ttl,
+                    timeout=args.timeout,
+                    max_workers=args.max_workers,
+                    verbose=args.verbose,
+                    drain_timeout=args.drain_timeout,
+                    trace=args.trace,
+                    snapshot=args.snapshot,
+                    metrics_dir=args.metrics_dir,
+                )
+            except PreforkUnavailableError as exc:
+                # No SO_REUSEPORT and no usable fallback on this
+                # platform: one clean line, not a traceback.
+                raise SystemExit(f"error: {exc}") from None
+        # --workers 1 is byte-identical to the pre-prefork single
+        # process path: same serve(), same defaults, same output.
+        from repro.service.server import serve
+
         return serve(
             host=args.host,
             port=args.port,
@@ -597,6 +631,7 @@ def _cmd_serve(args) -> int:
             timeout=args.timeout,
             max_workers=args.max_workers,
             verbose=args.verbose,
+            drain_timeout=args.drain_timeout,
             trace=args.trace,
             snapshot=args.snapshot,
         )
@@ -604,6 +639,71 @@ def _cmd_serve(args) -> int:
         # A bad --snapshot file fails at boot with one clean line, not a
         # traceback (and never silently serves stale/corrupt cells).
         raise SystemExit(f"error: {exc}") from None
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.loadgen import resolve_mix, run_closed_loop, run_open_loop
+
+    try:
+        mix = resolve_mix(
+            args.mix, size=args.mix_size, cold_fraction=args.cold_fraction
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    if args.mode == "open" and args.rate is None:
+        raise SystemExit("error: --mode open requires --rate "
+                         "(target offered requests/second)")
+    if args.mode == "closed":
+        result = run_closed_loop(
+            args.host, args.port, mix,
+            connections=args.connections,
+            duration=args.duration,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    else:
+        result = run_open_loop(
+            args.host, args.port, mix,
+            rate=args.rate,
+            duration=args.duration,
+            connections=args.connections,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    record = result.as_dict()
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0
+    rows = [
+        ("mode", record["mode"]),
+        ("mix", record["mix"]),
+        ("connections", record["connections"]),
+        ("requests", record["requests"]),
+        ("errors", record["errors"]),
+        ("wall seconds", record["wall_seconds"]),
+        ("achieved rps", record["achieved_rps"]),
+    ]
+    if "offered_rps" in record:
+        rows.insert(6, ("offered rps", record["offered_rps"]))
+        rows.append(("unsent", record["unsent"]))
+    for key in ("latency_ms", "service_ms", "send_lag_ms"):
+        if key not in record:
+            continue
+        summary = record[key]
+        rows.append((
+            key.replace("_ms", " (ms)"),
+            f"p50={summary['p50']} p95={summary['p95']} "
+            f"p99={summary['p99']} max={summary['max']}",
+        ))
+    print(format_table(
+        ["field", "value"], rows,
+        title=f"loadtest {args.host}:{args.port}",
+    ))
+    if record["mode"] == "open" and record["unsent"]:
+        print(f"warning: {record['unsent']} scheduled arrivals were never "
+              "sent (overloaded past --duration + overrun budget); "
+              "percentiles are lower bounds")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -930,7 +1030,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument(
         "--max-workers", type=int, default=8,
-        help="max concurrently processed requests",
+        help="max concurrently processed requests (threads per process)",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=1,
+        help="worker *processes*; >1 starts the pre-fork tier (a master "
+        "binds the port once, workers share it via SO_REUSEPORT or an "
+        "inherited descriptor; see docs/SERVICE.md)",
+    )
+    sv.add_argument(
+        "--drain-timeout", type=float, default=10.0, dest="drain_timeout",
+        help="seconds to wait for in-flight requests on SIGTERM",
+    )
+    sv.add_argument(
+        "--metrics-dir", default=None, metavar="DIR", dest="metrics_dir",
+        help="directory for per-worker metrics files in prefork mode "
+        "(default: a fresh temp dir; ignored with --workers 1)",
     )
     sv.add_argument("--verbose", action="store_true", help="access logging")
     sv.add_argument(
@@ -940,6 +1055,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flag(sv)
     sv.set_defaults(fn=_cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive a running service with synthetic load",
+        description=(
+            "Closed-loop (K connections, back-to-back requests: measures "
+            "capacity) or open-loop (Poisson arrivals at --rate, latency "
+            "measured from the scheduled send time so queueing delay is "
+            "never coordinated-omitted) load against a running "
+            "`repro serve`.  See docs/LOADTEST.md."
+        ),
+    )
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=int, default=8080)
+    lt.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed = capacity probe; open = latency under offered load",
+    )
+    lt.add_argument(
+        "--mix", default="warm_bandwidth",
+        help="request mix from the loadgen registry "
+        "(warm_bandwidth, mixed, health)",
+    )
+    lt.add_argument(
+        "--mix-size", type=int, default=None, dest="mix_size",
+        help="machine size the mix queries (mix-dependent; default 64)",
+    )
+    lt.add_argument(
+        "--cold-fraction", type=float, default=None, dest="cold_fraction",
+        help="fraction of requests with a fresh seed, forcing a full "
+        "compute ('mixed' mix only)",
+    )
+    lt.add_argument("--connections", type=int, default=4,
+                    help="concurrent keep-alive connections")
+    lt.add_argument("--rate", type=float, default=None,
+                    help="offered requests/second (open loop; required)")
+    lt.add_argument("--duration", type=float, default=5.0,
+                    help="measurement window in seconds")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="request-sequence seed (what gets sent is "
+                    "deterministic given the mix and this seed)")
+    lt.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request client timeout in seconds")
+    lt.add_argument("--json", action="store_true",
+                    help="machine-readable result record")
+    lt.set_defaults(fn=_cmd_loadtest)
 
     tr = sub.add_parser(
         "trace",

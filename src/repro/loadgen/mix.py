@@ -1,0 +1,163 @@
+"""Request-mix specs: what a synthetic client population asks for.
+
+A :class:`RequestMix` is a weighted set of request templates plus an
+optional *cold fraction*: with probability ``cold_fraction`` a sampled
+request carries a fresh random seed, which changes the job's content
+hash and therefore forces a full compute through the harness executor
+(every cache tier misses); otherwise the request is drawn from the
+fixed warm set, whose job hashes repeat and are served from cache after
+the first hit.  That one knob turns the same driver into a pure
+cache-bandwidth test (``cold_fraction=0``) or a compute-saturation
+test (``cold_fraction=1``).
+
+Mixes live in a small registry (:data:`MIXES`) mirroring the family and
+workload registries, so the CLI, benchmarks, and tests name them
+(``repro loadtest --mix mixed``) instead of re-describing endpoint
+weights; :func:`resolve_mix` raises ``KeyError`` listing the known
+names, which the CLI renders as a one-line error.
+
+Sampling is deterministic given the caller's ``random.Random``: two
+drivers with the same mix and seed issue the same request sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MIXES", "RequestMix", "RequestSpec", "resolve_mix"]
+
+#: The fixed warm grid: small enough to prime in well under a second,
+#: varied enough that per-endpoint caches are exercised across keys.
+WARM_GRID: tuple[tuple[str, int], ...] = (
+    ("mesh_2", 64),
+    ("de_bruijn", 64),
+    ("tree", 64),
+    ("butterfly", 64),
+)
+
+#: Seed space for cold requests; disjoint draws make repeat hashes
+#: vanishingly unlikely, so "cold" really means a cache miss.
+_COLD_SEED_SPACE = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One request template: method, path, optional JSON body, weight."""
+
+    name: str
+    method: str
+    path: str
+    body: dict[str, Any] | None = None
+    weight: float = 1.0
+
+    def render(self) -> tuple[str, str, bytes | None]:
+        """``(method, path, encoded_body)`` ready for the wire."""
+        data = (
+            json.dumps(self.body).encode("utf-8")
+            if self.body is not None else None
+        )
+        return self.method, self.path, data
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """A weighted request population with an optional cold tail."""
+
+    name: str
+    entries: tuple[RequestSpec, ...]
+    cold_fraction: float = 0.0
+    cold_family: str = "mesh_2"
+    cold_size: int = 64
+    _weights: tuple[float, ...] = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a request mix needs at least one entry")
+        if not 0.0 <= self.cold_fraction <= 1.0:
+            raise ValueError(
+                f"cold_fraction must be in [0, 1], got {self.cold_fraction}"
+            )
+        object.__setattr__(
+            self, "_weights", tuple(e.weight for e in self.entries)
+        )
+
+    def sample(self, rng: random.Random) -> tuple[str, str, bytes | None]:
+        """Draw one ``(method, path, body)`` request."""
+        if self.cold_fraction > 0.0 and rng.random() < self.cold_fraction:
+            seed = rng.randrange(_COLD_SEED_SPACE)
+            return (
+                "GET",
+                f"/v1/bandwidth?family={self.cold_family}"
+                f"&size={self.cold_size}&seed={seed}",
+                None,
+            )
+        choice = rng.choices(self.entries, weights=self._weights)[0]
+        return choice.render()
+
+    def prime_paths(self) -> list[tuple[str, str, bytes | None]]:
+        """Every warm template once -- request these before measuring."""
+        return [entry.render() for entry in self.entries]
+
+
+def _bandwidth_entries(size: int) -> tuple[RequestSpec, ...]:
+    return tuple(
+        RequestSpec(
+            name=f"bandwidth:{family}",
+            method="GET",
+            path=f"/v1/bandwidth?family={family}&size={size}",
+        )
+        for family, _ in WARM_GRID
+    )
+
+
+def _warm_bandwidth(size: int = 64) -> RequestMix:
+    return RequestMix("warm_bandwidth", _bandwidth_entries(size))
+
+
+def _mixed(size: int = 64, cold_fraction: float = 0.05) -> RequestMix:
+    return RequestMix(
+        "mixed",
+        _bandwidth_entries(size),
+        cold_fraction=cold_fraction,
+        cold_size=size,
+    )
+
+
+def _health() -> RequestMix:
+    return RequestMix(
+        "health", (RequestSpec("healthz", "GET", "/healthz"),)
+    )
+
+
+#: name -> factory(**params).  Factories take keyword overrides so the
+#: CLI can pass ``--mix-size`` / ``--cold-fraction`` without each mix
+#: re-declaring the plumbing.
+MIXES = {
+    "warm_bandwidth": _warm_bandwidth,
+    "mixed": _mixed,
+    "health": _health,
+}
+
+
+def resolve_mix(name: str, **params: Any) -> RequestMix:
+    """Build a registered mix; ``KeyError`` lists known names."""
+    try:
+        factory = MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown request mix {name!r}; known: {', '.join(sorted(MIXES))}"
+        ) from None
+    relevant = {
+        k: v for k, v in params.items()
+        if v is not None and k in factory.__code__.co_varnames
+    }
+    dropped = {k for k, v in params.items() if v is not None} - set(relevant)
+    if dropped:
+        raise KeyError(
+            f"mix {name!r} does not accept parameter(s) "
+            f"{', '.join(sorted(dropped))}"
+        )
+    return factory(**relevant)

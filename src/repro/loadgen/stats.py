@@ -1,0 +1,119 @@
+"""Latency statistics for load generation: bounded reservoirs.
+
+A load test (or a long-lived server) observes an unbounded stream of
+latencies but can only afford bounded memory.  Two wrong answers are
+common:
+
+* keep **every** sample -- memory grows without limit under sustained
+  load (a slow leak in a server that runs for weeks);
+* keep the **last N** samples -- a sliding window forgets the early
+  part of the run, so a spike at the start silently falls out of the
+  reported percentiles.
+
+:class:`LatencyReservoir` keeps a fixed-size *uniform random sample*
+over the whole stream (Vitter's Algorithm R): the first ``capacity``
+observations are kept verbatim (percentiles are exact until then), and
+observation ``n > capacity`` replaces a random slot with probability
+``capacity / n``, which makes every observation equally likely to be in
+the reservoir no matter when it arrived.  ``count``/``total``/``max``
+are tracked exactly on the side, so throughput and worst-case numbers
+never suffer sampling error -- only the mid-distribution percentiles
+are estimates, and those concentrate fast at the capacities used here
+(thousands of slots).
+
+The reservoir is thread-safe (one lock around observe/snapshot); the
+rng is injectable so tests can make replacement deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+__all__ = ["LatencyReservoir", "percentile", "summarize_ms"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize_ms(seconds: list[float], count: int | None = None,
+                 total: float | None = None,
+                 maximum: float | None = None) -> dict[str, Any]:
+    """JSON-ready p50/p95/p99/max/mean summary, in milliseconds.
+
+    ``seconds`` is the (possibly sampled) value set the percentiles are
+    computed from; ``count``/``total``/``maximum`` override the exact
+    stream statistics when the values are only a sample.
+    """
+    ms = [s * 1000.0 for s in seconds]
+    n = count if count is not None else len(ms)
+    tot_ms = (total * 1000.0) if total is not None else sum(ms)
+    max_ms = (maximum * 1000.0) if maximum is not None else (
+        max(ms) if ms else 0.0
+    )
+    return {
+        "count": n,
+        "mean": round(tot_ms / n, 3) if n else 0.0,
+        "p50": round(percentile(ms, 50), 3),
+        "p95": round(percentile(ms, 95), 3),
+        "p99": round(percentile(ms, 99), 3),
+        "max": round(max_ms, 3),
+    }
+
+
+class LatencyReservoir:
+    """Bounded uniform sample over a latency stream (Algorithm R)."""
+
+    def __init__(self, capacity: int = 2048,
+                 rng: random.Random | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = rng if rng is not None else random.Random()
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (seconds)."""
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.capacity:
+                    self._samples[slot] = seconds
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def values(self) -> list[float]:
+        """A copy of the current sample set (seconds)."""
+        with self._lock:
+            return list(self._samples)
+
+    def summary_ms(self) -> dict[str, Any]:
+        """JSON-ready count/mean/p50/p95/p99/max, in milliseconds.
+
+        ``count``/``mean``/``max`` are exact over the whole stream;
+        the percentiles come from the bounded uniform sample.
+        """
+        with self._lock:
+            samples = list(self._samples)
+            count, total, maximum = self.count, self.total, self.max
+        return summarize_ms(samples, count=count, total=total,
+                            maximum=maximum)

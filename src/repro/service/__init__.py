@@ -17,6 +17,12 @@ compute via :mod:`repro.harness`) -> :mod:`server` (HTTP transport);
 from repro.service.app import QueryService
 from repro.service.cache import CacheStats, TTLCache
 from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.prefork import (
+    MetricsDir,
+    PreforkUnavailableError,
+    choose_strategy,
+    serve_prefork,
+)
 from repro.service.schemas import MAX_MACHINE_SIZE, ApiError, Field, Schema
 from repro.service.server import ServiceServer, create_server, serve
 
@@ -25,12 +31,16 @@ __all__ = [
     "CacheStats",
     "Field",
     "MAX_MACHINE_SIZE",
+    "MetricsDir",
+    "PreforkUnavailableError",
     "QueryService",
     "Schema",
     "ServiceMetrics",
     "ServiceServer",
     "TTLCache",
+    "choose_strategy",
     "create_server",
     "percentile",
     "serve",
+    "serve_prefork",
 ]

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 import time
 from typing import Any, Mapping
 
@@ -81,9 +82,14 @@ class QueryService:
         timeout: float | None = None,
         retries: int = 0,
         snapshot: Any = None,
+        prefork: Any = None,
     ) -> None:
         self.store = store
         self.snapshot = snapshot  # a CatalogSnapshot, or None
+        # A repro.service.prefork.WorkerState when this process is one
+        # of N forked workers: /metrics then adds the merged
+        # cross-worker totals, /healthz identifies the worker.
+        self.prefork = prefork
         self.cache = TTLCache(maxsize=cache_size, ttl=ttl)
         self.flight = SingleFlight()
         self.metrics = ServiceMetrics()
@@ -99,6 +105,20 @@ class QueryService:
             "/v1/emulate": {"POST": (EMULATE_SCHEMA, self._h_emulate)},
             "/v1/saturation": {"POST": (SATURATION_SCHEMA, self._h_saturation)},
         }
+        if os.environ.get("REPRO_SERVICE_DEBUG") == "1":
+            # Test-only endpoint: a request whose duration the caller
+            # controls makes drain/lifecycle tests deterministic
+            # instead of racing real compute times.  Never registered
+            # in ENDPOINT_SCHEMAS, never enabled outside the env flag.
+            from repro.service.schemas import Field
+
+            sleep_schema = Schema(
+                Field("seconds", "float", default=0.05,
+                      minimum=0.0, maximum=30.0),
+            )
+            self._routes["/debug/sleep"] = {
+                "GET": (sleep_schema, self._h_debug_sleep)
+            }
 
     # -- dispatch -----------------------------------------------------------
 
@@ -237,12 +257,20 @@ class QueryService:
     # -- handlers -----------------------------------------------------------
 
     def _h_healthz(self, _params: dict) -> tuple[int, dict[str, Any]]:
-        return 200, {
+        payload = {
             "status": "ok",
             "version": __version__,
+            "pid": os.getpid(),
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "store": str(self.store.root) if self.store is not None else None,
         }
+        if self.prefork is not None:
+            payload["worker_index"] = self.prefork.index
+        return 200, payload
+
+    def _h_debug_sleep(self, params: dict) -> tuple[int, dict[str, Any]]:
+        time.sleep(params["seconds"])
+        return 200, {"slept": params["seconds"], "pid": os.getpid()}
 
     def _h_metrics(self, _params: dict) -> tuple[int, dict[str, Any]]:
         tracer = obs.get_tracer()
@@ -266,6 +294,12 @@ class QueryService:
             # Live span aggregates + counters when tracing is enabled
             # (null otherwise, so the key is stable for scrapers).
             "trace": tracer.stats() if tracer is not None else None,
+            # Merged cross-worker totals when running pre-forked
+            # (null in single-process mode, so the key is stable).
+            "prefork": (
+                self.prefork.metrics_payload(self)
+                if self.prefork is not None else None
+            ),
         }
 
     def _h_families(self, _params: dict) -> tuple[int, dict[str, Any]]:

@@ -112,6 +112,15 @@ class TTLCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def keys(self) -> list[str]:
+        """Live (unexpired) keys, least-recently-used first."""
+        now = self._clock()
+        with self._lock:
+            return [
+                key for key, (expires_at, _) in self._entries.items()
+                if now < expires_at
+            ]
+
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:

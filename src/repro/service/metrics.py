@@ -1,49 +1,48 @@
 """Live request metrics for the query service.
 
-One :class:`ServiceMetrics` instance per server records, per endpoint
-(``"GET /v1/bandwidth"``, ... -- route templates, never raw paths, so
-cardinality is fixed):
+One :class:`ServiceMetrics` instance per server process records, per
+endpoint (``"GET /v1/bandwidth"``, ... -- route templates, never raw
+paths, so cardinality is fixed):
 
 * request and error (status >= 400) counts over the server's lifetime;
-* a sliding window of the last ``window`` request latencies, from
-  which ``GET /metrics`` reports mean/p50/p95/p99/max in milliseconds.
+* latency percentiles from a **bounded reservoir**
+  (:class:`~repro.loadgen.stats.LatencyReservoir`, Algorithm R): a
+  fixed-size uniform sample over *every* request the process ever
+  served, not a sliding window.  Memory stays O(window) no matter how
+  long the server runs, and -- unlike the last-N window this replaced
+  -- an early latency spike remains visible in the percentiles instead
+  of aging out.  ``count``/``mean``/``max`` are tracked exactly.
 
-The window keeps the percentiles O(window log window) to snapshot and
-the memory bounded no matter how long the server runs; the counters are
-exact.  Everything is guarded by one lock -- observation is a few list
-ops, contention is negligible next to the request work itself.
+:meth:`ServiceMetrics.counters` exports the exact (non-sampled)
+counters in a mergeable shape; the pre-fork tier sums these across
+worker processes for the cluster-wide view on ``GET /metrics``
+(see :mod:`repro.service.prefork`).
+
+Everything is guarded by per-reservoir locks -- observation is a few
+list ops, contention is negligible next to the request work itself.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
 from typing import Any
+
+from repro.loadgen.stats import LatencyReservoir, percentile
 
 __all__ = ["ServiceMetrics", "percentile"]
 
 
-def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, round(q / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
-
-
 class _EndpointStats:
-    __slots__ = ("requests", "errors", "total_seconds", "samples")
+    __slots__ = ("requests", "errors", "reservoir")
 
     def __init__(self, window: int) -> None:
         self.requests = 0
         self.errors = 0
-        self.total_seconds = 0.0
-        self.samples: deque[float] = deque(maxlen=window)
+        self.reservoir = LatencyReservoir(capacity=window)
 
 
 class ServiceMetrics:
-    """Per-endpoint counters + latency histograms, thread-safe."""
+    """Per-endpoint counters + latency reservoirs, thread-safe."""
 
     def __init__(self, window: int = 2048) -> None:
         self.window = int(window)
@@ -59,28 +58,35 @@ class ServiceMetrics:
             stats.requests += 1
             if status >= 400:
                 stats.errors += 1
-            stats.total_seconds += seconds
-            stats.samples.append(seconds)
+        stats.reservoir.observe(seconds)
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready ``{endpoint: {requests, errors, latency_ms}}``."""
         with self._lock:
-            out: dict[str, Any] = {}
-            for endpoint in sorted(self._endpoints):
-                stats = self._endpoints[endpoint]
-                window_ms = [s * 1000.0 for s in stats.samples]
-                out[endpoint] = {
-                    "requests": stats.requests,
-                    "errors": stats.errors,
-                    "latency_ms": {
-                        "count": len(window_ms),
-                        "mean": round(
-                            sum(window_ms) / len(window_ms), 3
-                        ) if window_ms else 0.0,
-                        "p50": round(percentile(window_ms, 50), 3),
-                        "p95": round(percentile(window_ms, 95), 3),
-                        "p99": round(percentile(window_ms, 99), 3),
-                        "max": round(max(window_ms), 3) if window_ms else 0.0,
-                    },
-                }
-            return out
+            endpoints = dict(self._endpoints)
+        return {
+            endpoint: {
+                "requests": stats.requests,
+                "errors": stats.errors,
+                "latency_ms": stats.reservoir.summary_ms(),
+            }
+            for endpoint, stats in sorted(endpoints.items())
+        }
+
+    def counters(self) -> dict[str, Any]:
+        """Exact, mergeable per-endpoint counters (no percentiles).
+
+        Percentiles cannot be summed across processes, so the
+        cross-worker merge carries only counts and total seconds (from
+        which a merged mean is still exact).
+        """
+        with self._lock:
+            endpoints = dict(self._endpoints)
+        return {
+            endpoint: {
+                "requests": stats.requests,
+                "errors": stats.errors,
+                "total_seconds": round(stats.reservoir.total, 6),
+            }
+            for endpoint, stats in sorted(endpoints.items())
+        }

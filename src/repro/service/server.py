@@ -26,6 +26,7 @@ from __future__ import annotations
 import contextlib
 import json
 import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -115,8 +116,21 @@ class ServiceServer(ThreadingHTTPServer):
         service: QueryService,
         max_workers: int = 8,
         verbose: bool = False,
+        sock: socket.socket | None = None,
     ) -> None:
-        super().__init__(address, ServiceHandler)
+        if sock is not None:
+            # Adopt an already-bound, already-listening socket (the
+            # pre-fork tier shares the port across worker processes,
+            # via SO_REUSEPORT siblings or one inherited descriptor).
+            super().__init__(address, ServiceHandler, bind_and_activate=False)
+            self.socket.close()  # the unbound default TCPServer made
+            self.socket = sock
+            self.server_address = sock.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
+        else:
+            super().__init__(address, ServiceHandler)
         self.service = service
         self.verbose = verbose
         self.worker_slots = threading.BoundedSemaphore(max(1, int(max_workers)))
@@ -177,6 +191,8 @@ def create_server(
     max_workers: int = 8,
     verbose: bool = False,
     snapshot: str | Path | None = None,
+    sock: socket.socket | None = None,
+    prefork=None,
 ) -> ServiceServer:
     """Build a ready-to-``serve_forever`` server (``port=0`` = ephemeral).
 
@@ -185,6 +201,12 @@ def create_server(
     wrong-code-version file raises
     :class:`~repro.fabric.snapshot.SnapshotError` here, at boot, rather
     than failing requests later.
+
+    ``sock`` adopts an already-listening socket instead of binding
+    ``host:port``, and ``prefork`` injects a
+    :class:`~repro.service.prefork.WorkerState` so ``GET /metrics``
+    reports merged cross-worker totals -- both are how the pre-fork
+    tier (``serve --workers N``) assembles its workers.
     """
     if isinstance(store, (str, Path)):
         store = ResultStore(store)
@@ -206,9 +228,10 @@ def create_server(
         timeout=timeout,
         retries=retries,
         snapshot=opened_snapshot,
+        prefork=prefork,
     )
     return ServiceServer((host, port), service, max_workers=max_workers,
-                         verbose=verbose)
+                         verbose=verbose, sock=sock)
 
 
 def serve(

@@ -240,6 +240,34 @@ class TestSnapshotErrors:
         )
 
 
+class TestPreforkUnavailableErrors:
+    """``serve --workers N`` on a platform where neither SO_REUSEPORT
+    nor the inherited-FD fallback works must exit with one clean
+    ``error: ...`` line, not a socket/os traceback."""
+
+    def test_prefork_unavailable_is_clean(self, monkeypatch):
+        from repro.service import prefork
+
+        def unavailable(*_args, **_kwargs):
+            raise prefork.PreforkUnavailableError(
+                "prefork needs SO_REUSEPORT or a working inherited-socket "
+                "fallback; run with --workers 1"
+            )
+
+        monkeypatch.setattr(prefork, "choose_strategy", unavailable)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--workers", "2", "--port", "0"])
+        message = str(excinfo.value)
+        assert message.startswith("error: prefork needs")
+        assert "--workers 1" in message  # points at the escape hatch
+        assert "Traceback" not in message
+
+    def test_workers_validation(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--workers", "0", "--port", "0"])
+        assert str(excinfo.value).startswith("error:")
+
+
 class TestSweepResumeErrors:
     def test_resume_without_store_is_a_clean_error(self):
         with pytest.raises(SystemExit) as excinfo:
